@@ -1,0 +1,23 @@
+"""Benchmark suite configuration.
+
+Benchmarks live outside the default test path; run them with
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.kernel.virtual import shutdown_all_kernels
+
+# Make `import harness` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(autouse=True)
+def _sweep_leaked_kernels():
+    """Benchmarks build dozens of testbeds; reap their parked threads."""
+    yield
+    shutdown_all_kernels()

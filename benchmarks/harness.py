@@ -1,0 +1,110 @@
+"""Shared benchmark harness.
+
+Every benchmark builds a *fresh* testbed per configuration (monitoring
+state is deliberately stateful within a runtime, and benchmarks must not
+see each other's history), runs a workload in virtual time, and prints
+paper-style rows via :func:`repro.util.tables.render_table`.
+
+pytest-benchmark measures host wall time of the simulation; the numbers
+that matter for the reproduction — simulated seconds — are attached to
+``benchmark.extra_info`` and printed as tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.matmul import MatmulConfig, run_matmul, sequential_matmul_time
+from repro.cluster import TestbedConfig, vienna_testbed
+from repro.util.tables import render_table
+
+#: node counts swept for Figure 5 (the paper sweeps 1..13)
+FIG5_NODE_COUNTS = [1, 2, 4, 6, 8, 10, 11, 12, 13]
+#: problem sizes (the paper plots several N; exact values unreadable from
+#: the scan, we use a spread around N=1000)
+FIG5_SIZES = [600, 1000, 1500, 2000]
+
+
+def fresh_testbed(profile: str, seed: int = 1, **config_kwargs):
+    config = TestbedConfig(load_profile=profile, seed=seed, **config_kwargs)
+    return vienna_testbed(config)
+
+
+@dataclass
+class Fig5Point:
+    profile: str
+    n: int
+    nodes: int
+    elapsed: float           # simulated seconds
+    speedup: float           # vs the 1-node sequential baseline
+
+
+def fig5_point(
+    profile: str, n: int, nodes: int, seed: int = 1,
+    sequential_baseline: float | None = None,
+) -> Fig5Point:
+    """One point of Figure 5 on a fresh testbed.  ``nodes == 1`` is the
+    paper's sequential baseline (no JavaSymphony at all)."""
+    runtime = fresh_testbed(profile, seed)
+    if nodes == 1:
+        elapsed = sequential_matmul_time(runtime.world, "milena", n)
+    else:
+        result = runtime.run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=n, nr_nodes=nodes, real_compute=False)
+            )
+        )
+        elapsed = result.elapsed
+    baseline = sequential_baseline if sequential_baseline else elapsed
+    return Fig5Point(
+        profile=profile,
+        n=n,
+        nodes=nodes,
+        elapsed=elapsed,
+        speedup=baseline / elapsed,
+    )
+
+
+def fig5_series(
+    profile: str, n: int, node_counts=None, seed: int = 1
+) -> list[Fig5Point]:
+    node_counts = node_counts or FIG5_NODE_COUNTS
+    baseline = fig5_point(profile, n, 1, seed).elapsed
+    series = []
+    for nodes in node_counts:
+        series.append(
+            fig5_point(profile, n, nodes, seed,
+                       sequential_baseline=baseline)
+        )
+    return series
+
+
+def print_fig5_table(n: int, night: list[Fig5Point],
+                     day: list[Fig5Point]) -> None:
+    rows = []
+    for pn, pd in zip(night, day):
+        assert pn.nodes == pd.nodes
+        rows.append([
+            pn.nodes,
+            round(pn.elapsed, 1), round(pn.speedup, 2),
+            round(pd.elapsed, 1), round(pd.speedup, 2),
+        ])
+    print()
+    print(render_table(
+        ["nodes", "night time [s]", "night speedup",
+         "day time [s]", "day speedup"],
+        rows,
+        title=(f"Figure 5 | matmul {n}x{n} on the simulated Vienna "
+               "cluster (1 node = sequential, no JavaSymphony)"),
+    ))
+
+
+def best(series: list[Fig5Point]) -> Fig5Point:
+    return min(series, key=lambda p: p.elapsed)
+
+
+def at_nodes(series: list[Fig5Point], nodes: int) -> Fig5Point:
+    for point in series:
+        if point.nodes == nodes:
+            return point
+    raise KeyError(nodes)

@@ -1,0 +1,110 @@
+"""Ext-F: selective remote classloading vs replicate-everywhere.
+
+Paper Section 4.3: "Only those components of a virtual architecture may
+store a class file that need it.  This feature can reduce the overall
+memory requirement of an application."  We measure exactly that: total
+codebase memory across the testbed and bytes moved, for loading a 5 MB
+codebase onto (a) the 3 nodes that run the objects vs (b) all 13 nodes.
+"""
+
+from harness import fresh_testbed
+from repro.agents.objects import jsclass
+from repro.core import JSCodebase, JSRegistration
+from repro.util.tables import render_table
+
+
+@jsclass
+class BigLibrary:
+    """Stands for a heavyweight class archive."""
+
+    def work(self) -> str:
+        return "ok"
+
+
+CODEBASE_BYTES = 5_000_000
+WORKERS = ["milena", "rachel", "johanna"]
+
+
+def load_onto(hosts) -> dict:
+    runtime = fresh_testbed("dedicated", seed=10)
+    out = {}
+
+    def app():
+        from repro import context
+
+        kernel = context.require().runtime.world.kernel
+        reg = JSRegistration()
+        cb = JSCodebase()
+        cb.add(BigLibrary, nbytes=CODEBASE_BYTES)
+        t0 = kernel.now()
+        cb.load(list(hosts))
+        out["load_time"] = kernel.now() - t0
+        out["total_mem_mb"] = sum(
+            m.codebase_mem_mb for m in runtime.world.machines.values()
+        )
+        out["bytes_moved"] = runtime.transport.stats.bytes_total
+        reg.unregister()
+
+    runtime.run_app(app, node="milena")
+    return out
+
+
+def test_selective_vs_replicate_all(benchmark):
+    results = {}
+
+    def run():
+        results["selective (3 nodes)"] = load_onto(WORKERS)
+        all_hosts = fresh_testbed("dedicated").nas.known_hosts()
+        results["replicate-all (13 nodes)"] = load_onto(all_hosts)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["strategy", "codebase mem [MB]", "load time [s]",
+         "bytes moved [MB]"],
+        [
+            [label, round(r["total_mem_mb"], 1),
+             round(r["load_time"], 2),
+             round(r["bytes_moved"] / 1e6, 1)]
+            for label, r in results.items()
+        ],
+        title="Ext-F | selective classloading vs replicate-everywhere "
+              f"({CODEBASE_BYTES // 1_000_000} MB codebase)",
+    ))
+    selective = results["selective (3 nodes)"]
+    everywhere = results["replicate-all (13 nodes)"]
+    # Memory scales with the number of loaded nodes (13/3 ~ 4.3x).
+    assert everywhere["total_mem_mb"] > 4 * selective["total_mem_mb"]
+    # Replicating to the 10 Mbit sparcs costs serious transfer time.
+    assert everywhere["load_time"] > 5 * selective["load_time"]
+
+
+def test_free_reclaims_memory(benchmark):
+    out = {}
+
+    def run():
+        runtime = fresh_testbed("dedicated", seed=10)
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase()
+            cb.add(BigLibrary, nbytes=CODEBASE_BYTES)
+            cb.load(WORKERS)
+            out["loaded"] = sum(
+                m.codebase_mem_mb for m in runtime.world.machines.values()
+            )
+            cb.free()
+            out["freed"] = sum(
+                m.codebase_mem_mb for m in runtime.world.machines.values()
+            )
+            reg.unregister()
+
+        runtime.run_app(app, node="milena")
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nExt-F | loaded {out['loaded']:.1f} MB, "
+          f"after free {out['freed']:.1f} MB")
+    assert out["loaded"] >= 14.9
+    assert out["freed"] == 0.0

@@ -1,0 +1,92 @@
+"""Ext-E: constraint-based allocation — selectivity and overhead.
+
+Measures (a) how constraint count narrows the candidate set on the
+Vienna testbed, and (b) host-side allocation throughput vs pool size
+(this one is a genuine wall-clock microbenchmark of the allocator)."""
+
+import pytest
+
+from harness import fresh_testbed
+from repro.constraints import JSConstraints
+from repro.kernel import VirtualKernel
+from repro.simnet import SimWorld, build_lan, make_host
+from repro.sysmon import SysParam
+from repro.util.tables import render_table
+from repro.varch import MonitoredPool
+
+CONSTRAINT_LADDER = [
+    ("none", JSConstraints()),
+    ("1: fast iface", JSConstraints([
+        (SysParam.NET_IFACE_MBITS, ">=", 100),
+    ])),
+    ("2: + >=128MB", JSConstraints([
+        (SysParam.NET_IFACE_MBITS, ">=", 100),
+        (SysParam.TOTAL_MEM, ">=", 200),
+    ])),
+    ("3: + >=50 MFLOPS", JSConstraints([
+        (SysParam.NET_IFACE_MBITS, ">=", 100),
+        (SysParam.TOTAL_MEM, ">=", 200),
+        (SysParam.PEAK_MFLOPS, ">=", 50),
+    ])),
+    ("4: + not milena", JSConstraints([
+        (SysParam.NET_IFACE_MBITS, ">=", 100),
+        (SysParam.TOTAL_MEM, ">=", 200),
+        (SysParam.PEAK_MFLOPS, ">=", 50),
+        (SysParam.NODE_NAME, "!=", "milena"),
+    ])),
+]
+
+
+def test_constraint_selectivity(benchmark):
+    rows = []
+
+    def run():
+        runtime = fresh_testbed("night", seed=12)
+        for label, constr in CONSTRAINT_LADDER:
+            candidates = runtime.pool.candidates(constr)
+            rows.append([label, len(candidates),
+                         ",".join(candidates[:4])
+                         + ("..." if len(candidates) > 4 else "")])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["constraints", "candidates", "best-ranked"],
+        rows,
+        title="Ext-E | constraint selectivity on the 13-node testbed",
+    ))
+    counts = [row[1] for row in rows]
+    assert counts[0] == 13
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] == 1  # only rachel survives the full ladder
+
+
+def big_pool(n_hosts: int) -> MonitoredPool:
+    world = SimWorld(VirtualKernel(), seed=1)
+    fast = [make_host(f"u{i}", "Ultra10/440", i % 250)
+            for i in range(n_hosts // 2)]
+    slow = [make_host(f"s{i}", "SS5/70", i % 250)
+            for i in range(n_hosts - n_hosts // 2)]
+    build_lan(world, fast_hosts=fast, slow_hosts=slow)
+    return MonitoredPool(world)
+
+
+@pytest.mark.parametrize("pool_size", [16, 64, 256])
+def test_allocation_throughput(benchmark, pool_size):
+    """Wall-clock cost of one constrained 8-node allocation as the pool
+    grows (the allocator samples + filters + ranks every host)."""
+    pool = big_pool(pool_size)
+    constr = JSConstraints([
+        (SysParam.PEAK_MFLOPS, ">=", 10),
+        (SysParam.IDLE, ">=", 50),
+    ])
+
+    def allocate():
+        hosts = pool.acquire(8, constraints=constr)
+        for host in hosts:
+            pool.release(host)
+        return hosts
+
+    result = benchmark(allocate)
+    assert len(result) == 8

@@ -1,0 +1,129 @@
+"""Ext-B: migration cost vs object size + the redirect overhead of a
+stale reference (Figure 4 path vs direct hit)."""
+
+import pytest
+
+from harness import fresh_testbed
+from repro.agents.objects import jsclass
+from repro.core import JSCodebase, JSObj, JSRegistration
+from repro.util.tables import render_table
+
+
+@jsclass
+class Blob:
+    """Object whose nominal serialized size is configurable."""
+
+    def __init__(self) -> None:
+        self.__js_nbytes__ = 1024
+
+    def resize(self, nbytes: int) -> None:
+        self.__js_nbytes__ = int(nbytes)
+
+    def touch(self) -> str:
+        return "ok"
+
+
+SIZES = [10_000, 100_000, 1_000_000, 4_000_000]
+
+
+@pytest.mark.parametrize("route,src,dst", [
+    ("within-100Mbit", "rachel", "johanna"),
+    ("across-to-10Mbit", "rachel", "ida"),
+])
+def test_migration_cost_vs_size(benchmark, route, src, dst):
+    rows = []
+
+    def run():
+        for nbytes in SIZES:
+            runtime = fresh_testbed("dedicated", seed=4)
+
+            def app():
+                from repro import context
+
+                kernel = context.require().runtime.world.kernel
+                reg = JSRegistration()
+                cb = JSCodebase(); cb.add(Blob); cb.load([src, dst])
+                obj = JSObj("Blob", src)
+                obj.sinvoke("resize", [nbytes])
+                t0 = kernel.now()
+                obj.migrate(dst)
+                elapsed = kernel.now() - t0
+                assert obj.sinvoke("touch") == "ok"
+                reg.unregister()
+                return elapsed
+
+            rows.append([nbytes // 1000, route,
+                         round(runtime.run_app(app, node="milena"), 4)])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["size [KB]", "route", "migration [s]"],
+        rows,
+        title=f"Ext-B | migration cost vs object size ({route})",
+    ))
+    # Cost grows with size, and the largest object dominates.
+    times = [r[2] for r in rows]
+    assert times[-1] > times[0]
+    assert times == sorted(times)
+
+
+def test_redirect_overhead(benchmark):
+    """Invoking through a stale handle (object migrated away) pays one
+    extra bounce; measure it against a fresh handle."""
+    result = {}
+
+    def run():
+        runtime = fresh_testbed("dedicated", seed=4)
+
+        def app():
+            from repro import context
+
+            kernel = context.require().runtime.world.kernel
+            reg = JSRegistration()
+            cb = JSCodebase(); cb.add(Blob)
+            cb.load(["rachel", "johanna", "theresa"])
+            obj = JSObj("Blob", "rachel")
+            obj.sinvoke("touch")
+
+            t0 = kernel.now()
+            obj.sinvoke("touch")
+            result["direct"] = kernel.now() - t0
+
+            # Make the app's *cached* location stale by resetting it to
+            # the pre-migration holder after migrating.
+            entry = reg.app.refs[obj.obj_id]
+            old_location = entry.location
+            obj.migrate("johanna")
+            entry.location = old_location  # simulate a stale cache
+            t0 = kernel.now()
+            assert obj.sinvoke("touch") == "ok"
+            result["one-bounce"] = kernel.now() - t0
+
+            # Two-hop staleness: the one-bounce invoke healed the cache,
+            # so migrate again and reset to the *original* holder — its
+            # tombstone chains through johanna's to theresa.
+            obj.migrate("theresa")
+            entry.location = old_location
+            t0 = kernel.now()
+            assert obj.sinvoke("touch") == "ok"
+            result["two-bounce"] = kernel.now() - t0
+            reg.unregister()
+
+        runtime.run_app(app, node="milena")
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["path", "sim seconds", "overhead vs direct"],
+        [[k, round(v, 5), f"{v / result['direct']:.2f}x"]
+         for k, v in result.items()],
+        title="Ext-B | RMI redirect overhead after migration (Figure 4)",
+    ))
+    assert result["one-bounce"] > result["direct"]
+    assert result["two-bounce"] > result["one-bounce"]
+    # Redirection is bounded: a bounce costs roughly one extra hop, not
+    # an order of magnitude.
+    assert result["two-bounce"] < 10 * result["direct"]

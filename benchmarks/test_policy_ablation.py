@@ -1,0 +1,52 @@
+"""Ext-G: allocation-policy ablation.
+
+The pool's default ``available-compute`` ranking (idle × peak MFLOPS)
+embodies the paper's "JRS allocates a node with low system load and
+reasonable resources".  Compare it against ``min-load`` (ignores speed)
+and ``random`` on the heterogeneous testbed: picking merely *idle* nodes
+on a 60-vs-3.5-MFLOPS cluster wastes most of the hardware."""
+
+from harness import fresh_testbed
+from repro.apps.matmul import MatmulConfig, run_matmul
+from repro.util.tables import render_table
+
+POLICIES = ["available-compute", "min-load", "random"]
+
+
+def run_policy(policy: str) -> dict:
+    runtime = fresh_testbed("night", seed=15, pool_policy=policy)
+    result = runtime.run_app(
+        lambda: run_matmul(
+            MatmulConfig(n=1000, nr_nodes=4, real_compute=False)
+        )
+    )
+    return {"elapsed": result.elapsed, "hosts": result.hosts}
+
+
+def test_allocation_policy(benchmark):
+    results = {}
+
+    def run():
+        for policy in POLICIES:
+            results[policy] = run_policy(policy)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["policy", "matmul 1000x1000, 4 nodes [s]", "chosen nodes"],
+        [
+            [policy, round(r["elapsed"], 1), ",".join(sorted(r["hosts"]))]
+            for policy, r in results.items()
+        ],
+        title="Ext-G | pool allocation policy on the heterogeneous testbed",
+    ))
+    default = results["available-compute"]["elapsed"]
+    # The speed-aware default must beat both speed-blind policies.
+    assert default < results["min-load"]["elapsed"]
+    assert default < results["random"]["elapsed"]
+    # And it picked Ultras.
+    assert all(
+        h in ("milena", "rachel", "johanna", "theresa")
+        for h in results["available-compute"]["hosts"]
+    )

@@ -1,0 +1,94 @@
+"""Ext-H: wide-area locality on the 3-site grid testbed.
+
+The paper motivates virtual architectures up to "large scale wide-area
+meta-computing".  On the grid (vienna/linz/budapest over ~2 Mbit WAN
+links), run the master/slave matmul with workers (a) inside the master's
+site and (b) spread across sites: the WAN turns a win into a loss, which
+is exactly why the Site/Domain hierarchy exists — keep interacting
+objects inside one site."""
+
+from repro.apps.matmul import Matrix, TaskData  # noqa: F401
+from repro.cluster import grid_testbed
+from repro.core import JSCodebase, JSObj, JSRegistration
+from repro.util.serialization import Payload, unwrap
+from repro.util.tables import render_table
+
+N = 1000
+ROWS_PER_TASK = 10
+
+
+def run_grid_matmul(worker_hosts: list[str]) -> float:
+    runtime = grid_testbed(seed=30, load_profile="dedicated")
+
+    def app():
+        from repro import context
+
+        kernel = context.require().runtime.world.kernel
+        reg = JSRegistration()
+        cb = JSCodebase(); cb.add(Matrix); cb.load(worker_hosts)
+        workers = [JSObj("Matrix", h) for h in worker_hosts]
+        t0 = kernel.now()
+        for worker in workers:
+            worker.oinvoke(
+                "init", [N, N, Payload(data=None, nbytes=N * N * 4)]
+            )
+        nr_tasks = N // ROWS_PER_TASK
+        next_task, merged = 0, 0
+        busy = [-1] * len(workers)
+        handles = [None] * len(workers)
+        while merged < nr_tasks:
+            progressed = False
+            for i, worker in enumerate(workers):
+                if busy[i] >= 0 and handles[i].is_ready():
+                    unwrap(handles[i].get_result())
+                    merged += 1
+                    busy[i] = -1
+                    progressed = True
+                if busy[i] < 0 and next_task < nr_tasks:
+                    task = TaskData(
+                        next_task * ROWS_PER_TASK, ROWS_PER_TASK, N, None
+                    )
+                    handles[i] = worker.ainvoke(
+                        "multiply",
+                        [Payload(data=task, nbytes=task.nbytes)],
+                    )
+                    busy[i] = next_task
+                    next_task += 1
+                    progressed = True
+            if not progressed:
+                kernel.sleep(0.01)
+        elapsed = kernel.now() - t0
+        reg.unregister()
+        return elapsed
+
+    return runtime.run_app(app, node="milena")
+
+
+PLACEMENTS = {
+    "within-site (vienna)": ["rachel", "johanna", "theresa"],
+    "cross-site (one per site)": ["rachel", "alois", "adel"],
+    "all-remote (budapest)": ["adel", "bela", "csilla"],
+}
+
+
+def test_widearea_locality(benchmark):
+    results = {}
+
+    def run():
+        for label, hosts in PLACEMENTS.items():
+            results[label] = run_grid_matmul(hosts)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results["within-site (vienna)"]
+    print()
+    print(render_table(
+        ["placement", "matmul time [s]", "slowdown"],
+        [[label, round(t, 1), f"{t / base:.2f}x"]
+         for label, t in results.items()],
+        title=f"Ext-H | {N}x{N} matmul, 3 workers, master in vienna "
+              "(grid testbed, ~2 Mbit WAN)",
+    ))
+    # WAN placement is catastrophic for a chatty master/slave program.
+    assert results["cross-site (one per site)"] > 2 * base
+    assert results["all-remote (budapest)"] > 2 * base

@@ -1,0 +1,118 @@
+"""Locality control and migration (paper Sections 4.4 and 4.6).
+
+Part 1 — *explicit* migration: the application watches a node's IDLE
+parameter (exactly the paper's code pattern) and migrates its object away
+when the node gets busy.
+
+Part 2 — *automatic* migration: the JS-Shell enables auto-migration; when
+external load violates the virtual architecture's creation constraints,
+the PubOA notifies the AppOA, which moves the objects — no application
+code involved.
+
+    python examples/adaptive_migration.py
+"""
+
+from repro import (
+    JSConstants,
+    JSConstraints,
+    JSCodebase,
+    JSObj,
+    JSRegistration,
+    TestbedConfig,
+    jsclass,
+    vienna_testbed,
+)
+from repro import context
+from repro.simnet import ConstantLoad, SpikeLoad
+from repro.varch import Cluster, Node
+
+
+@jsclass
+class Model:
+    """A stateful object worth keeping close to idle CPUs."""
+
+    def __init__(self) -> None:
+        self.updates = 0
+
+    def update(self) -> int:
+        self.updates += 1
+        return self.updates
+
+
+def explicit_migration_app() -> None:
+    reg = JSRegistration()
+    kernel = context.require().runtime.world.kernel
+
+    node = Node("johanna")
+    codebase = JSCodebase()
+    codebase.add(Model)
+    codebase.load([node, "theresa"])
+
+    obj = JSObj("Model", node)
+    print(f"  object on {obj.get_node()}")
+
+    # The paper's Section 4.6 pattern, verbatim logic:
+    #   if (n1.getSysParam(JSConstants.IDLE) < 50) obj.migrate(...)
+    for step in range(20):
+        obj.sinvoke("update")
+        kernel.sleep(10.0)
+        idle = node.get_sys_param(JSConstants.IDLE)
+        if idle < 50 and obj.get_node() == "johanna":
+            print(f"  t={kernel.now():6.0f}s johanna idle={idle:.0f}% "
+                  "-> migrating explicitly")
+            obj.migrate("theresa")
+            print(f"  object now on {obj.get_node()}, "
+                  f"state preserved: updates={obj.sinvoke('update') - 1}")
+    reg.unregister()
+
+
+def auto_migration_app() -> None:
+    reg = JSRegistration()
+    kernel = context.require().runtime.world.kernel
+
+    # Constraints make this virtual architecture *watched*: the PubOA
+    # re-checks them periodically and triggers migration on violation.
+    constr = JSConstraints([(JSConstants.IDLE, ">=", 50)])
+    cluster = Cluster(3, constraints=constr)
+    codebase = JSCodebase()
+    codebase.add(Model)
+    codebase.load(context.require().runtime.nas.known_hosts())
+
+    objs = [JSObj("Model", cluster.get_node(i)) for i in range(3)]
+    before = [o.get_node() for o in objs]
+    print(f"  objects on {before}")
+    kernel.sleep(120.0)  # the spike hits rachel at t=150
+    kernel.sleep(120.0)
+    after = [o.get_node() for o in objs]
+    print(f"  after the load spike: {after}")
+    moved = [f"{a}->{b}" for a, b in zip(before, after) if a != b]
+    print(f"  automatically migrated: {moved or 'nothing'}")
+    for obj in objs:
+        assert obj.sinvoke("update") >= 1  # state intact
+    reg.unregister()
+
+
+def main() -> None:
+    print("== explicit migration (application-driven) ==")
+    config = TestbedConfig(load_profile="dedicated", seed=21)
+    # johanna gets slammed by its owner from t=60 on.
+    config.load_models["johanna"] = SpikeLoad(
+        ConstantLoad(0.02), start=60.0, duration=1e9, magnitude=0.9
+    )
+    runtime = vienna_testbed(config)
+    runtime.run_app(explicit_migration_app)
+
+    print()
+    print("== automatic migration (JRS-driven, enabled via JS-Shell) ==")
+    config = TestbedConfig(load_profile="dedicated", seed=22)
+    config.load_models["rachel"] = SpikeLoad(
+        ConstantLoad(0.02), start=150.0, duration=1e9, magnitude=0.9
+    )
+    config.nas.monitor_period = 5.0
+    runtime = vienna_testbed(config)
+    runtime.shell.enable_auto_migration(watch_period=10.0)
+    runtime.run_app(auto_migration_app)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The Network Agent System's fault-tolerance protocol (Section 5.1).
+
+Three machines fail while the runtime is up: a plain member, a cluster
+manager, and then the new manager too.  Watch the NAS release nodes,
+promote backups (only a predefined backup may take over), and keep the
+monitoring hierarchy alive throughout.
+
+    python examples/fault_tolerance_demo.py
+"""
+
+from repro import TestbedConfig, vienna_testbed
+from repro.agents.nas import NASConfig
+from repro.sysmon import SysParam
+
+
+def show(runtime) -> None:
+    nas = runtime.nas
+    print(f"    t={runtime.world.now():6.1f}s")
+    for cluster in ("ultras", "sparcs"):
+        if cluster not in nas.managers:
+            print(f"      {cluster}: dissolved")
+            continue
+        assignment = nas.managers[cluster]
+        members = nas.cluster_members(cluster)
+        print(
+            f"      {cluster}: manager={assignment.manager} "
+            f"backups={assignment.backups} members={len(members)}"
+        )
+    print(f"      site manager: {nas.site_manager('vienna')}, "
+          f"domain manager: {nas.domain_manager()}")
+
+
+def main() -> None:
+    config = TestbedConfig(
+        load_profile="night",
+        seed=13,
+        nas=NASConfig(monitor_period=2.0, probe_period=2.0,
+                      failure_timeout=1.0),
+    )
+    runtime = vienna_testbed(config)
+    world = runtime.world
+
+    print("== initial hierarchy ==")
+    world.kernel.run(until=5.0)
+    show(runtime)
+
+    print("\n== 1. a plain member (ida) fails ==")
+    world.fail_host("ida")
+    world.kernel.run(until=world.now() + 15.0)
+    show(runtime)
+
+    print("\n== 2. the sparcs cluster manager fails ==")
+    sparcs_manager = runtime.nas.cluster_manager("sparcs")
+    print(f"    killing {sparcs_manager}")
+    world.fail_host(sparcs_manager)
+    world.kernel.run(until=world.now() + 20.0)
+    show(runtime)
+
+    print("\n== 3. the *new* sparcs manager fails too ==")
+    sparcs_manager = runtime.nas.cluster_manager("sparcs")
+    print(f"    killing {sparcs_manager}")
+    world.fail_host(sparcs_manager)
+    world.kernel.run(until=world.now() + 20.0)
+    show(runtime)
+
+    print("\n== monitoring still flows after all that ==")
+    avg = runtime.nas.cluster_average("sparcs")
+    print(f"    sparcs cluster average idle: {avg[SysParam.IDLE]:.1f}%")
+
+    print("\n== NAS event log ==")
+    for event in runtime.nas.events:
+        print(f"    t={event.time:6.1f}s {event.kind}: {event.detail}")
+
+
+if __name__ == "__main__":
+    main()

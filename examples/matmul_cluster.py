@@ -1,0 +1,49 @@
+"""The paper's evaluation program: master/slave matrix multiplication
+(Figure 6) on the simulated 13-workstation Vienna testbed.
+
+Two runs:
+1. a small *real* multiplication (the product is computed and verified);
+2. a paper-scale *nominal* run (N=1000) under night load, reporting the
+   simulated completion time and the per-node task distribution — one
+   point of Figure 5.
+
+    python examples/matmul_cluster.py
+"""
+
+from repro import TestbedConfig, vienna_testbed
+from repro.apps.matmul import MatmulConfig, run_matmul, sequential_matmul_time
+
+
+def main() -> None:
+    print("== real multiplication (verified) ==")
+    runtime = vienna_testbed(TestbedConfig(load_profile="night", seed=7))
+    result = runtime.run_app(
+        lambda: run_matmul(MatmulConfig(n=128, nr_nodes=4))
+    )
+    print(f"  N={result.n}, nodes={result.hosts}")
+    print(f"  tasks={result.nr_tasks}, verified correct: {result.correct}")
+    print(f"  simulated completion time: {result.elapsed:.2f} s")
+
+    print()
+    print("== paper-scale nominal run (one Figure-5 point) ==")
+    runtime = vienna_testbed(TestbedConfig(load_profile="night", seed=7))
+    seq = sequential_matmul_time(runtime.world, "milena", 1000)
+    runtime = vienna_testbed(TestbedConfig(load_profile="night", seed=7))
+    result = runtime.run_app(
+        lambda: run_matmul(
+            MatmulConfig(n=1000, nr_nodes=6, real_compute=False)
+        )
+    )
+    print(f"  N=1000, 6 nodes, night load")
+    print(f"  sequential on fastest node : {seq:8.1f} s")
+    print(f"  JavaSymphony on 6 nodes    : {result.elapsed:8.1f} s")
+    print(f"  speedup                    : {seq / result.elapsed:8.2f}x")
+    print("  tasks per node:")
+    for host, count in sorted(
+        result.tasks_per_host.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"    {host:10s} {count:3d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Persistent objects across application lifetimes (Section 4.7).
+
+A first application trains a (toy) model object on one node, stores it
+under a key, and unregisters.  A second application — different home
+node, different AppOA — loads the object and continues where the first
+left off.
+
+    python examples/persistent_objects.py
+"""
+
+from repro import (
+    JS,
+    JSCodebase,
+    JSObj,
+    JSRegistration,
+    TestbedConfig,
+    jsclass,
+    vienna_testbed,
+)
+
+
+@jsclass
+class RunningMean:
+    """Toy 'model': a running mean that must survive its application."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> float:
+        self.count += 1
+        self.total += value
+        return self.mean()
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def producer() -> str:
+    reg = JSRegistration()
+    codebase = JSCodebase()
+    codebase.add(RunningMean)
+    codebase.load("johanna")
+
+    model = JSObj("RunningMean", "johanna")
+    for value in [10.0, 20.0, 30.0]:
+        model.sinvoke("observe", [value])
+    print(f"  producer (home {reg.home_node}): "
+          f"mean after 3 samples = {model.sinvoke('mean'):.1f}")
+
+    key = model.store("shared-running-mean")
+    print(f"  stored under key {key!r}")
+    model.free()
+    reg.unregister()
+    return key
+
+
+def consumer(key: str) -> None:
+    reg = JSRegistration()
+    model = JS.load(key)  # re-created on the consumer's local node
+    print(f"  consumer (home {reg.home_node}): "
+          f"loaded object onto {model.get_node()}")
+    print(f"  mean restored: {model.sinvoke('mean'):.1f}")
+    updated = model.sinvoke("observe", [100.0])
+    print(f"  after one more sample: {updated:.1f}")
+    reg.unregister()
+
+
+def main() -> None:
+    runtime = vienna_testbed(TestbedConfig(load_profile="night", seed=5))
+    print("== producer application ==")
+    key = runtime.run_app(producer, node="milena")
+    print("== consumer application (different node, later) ==")
+    runtime.run_app(lambda: consumer(key), node="greta")
+    print(f"persistent store keys: {runtime.persistent_store.keys()}")
+
+
+if __name__ == "__main__":
+    main()

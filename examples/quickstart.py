@@ -1,0 +1,96 @@
+"""Quickstart: the JavaSymphony programming model in five minutes.
+
+Runs on the simulated Vienna testbed (13 Sun workstations).  Shows:
+registration, constraint-based virtual architectures, selective
+classloading, the three invocation modes, system-parameter access, and
+clean shutdown.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    JS,
+    Cluster,
+    JSCodebase,
+    JSConstants,
+    JSConstraints,
+    JSObj,
+    JSRegistration,
+    TestbedConfig,
+    jsclass,
+    vienna_testbed,
+)
+
+
+@jsclass
+class Greeter:
+    """Any plain class becomes remotely instantiable via @jsclass."""
+
+    def __init__(self) -> None:
+        self.greetings = 0
+
+    def hello(self, name: str) -> str:
+        self.greetings += 1
+        return f"hello {name} (greeting #{self.greetings})"
+
+    def count(self) -> int:
+        return self.greetings
+
+
+def app() -> None:
+    # 1. Every application first registers with the JRS (Section 4.1).
+    reg = JSRegistration()
+    print(f"registered {reg.app_id}, home node: {JS.get_local_node()}")
+
+    # 2. Request a virtual architecture under constraints (Section 4.2):
+    #    three nodes that are mostly idle and not called "milena".
+    constr = JSConstraints()
+    constr.setConstraints(JSConstants.NODE_NAME, "!=", "milena")
+    constr.setConstraints(JSConstants.IDLE, ">=", 50)
+    constr.setConstraints(JSConstants.AVAIL_MEM, ">=", 32)
+    cluster = Cluster(3, constraints=constr)
+    print(f"cluster nodes: {cluster.hostnames()}")
+
+    # 3. Selective classloading (Section 4.3): ship the codebase only to
+    #    the nodes that will run Greeter objects.
+    codebase = JSCodebase()
+    codebase.add(Greeter)
+    codebase.load(cluster)
+
+    # 4. Create objects mapped onto specific nodes (Section 4.4).
+    greeter = JSObj("Greeter", cluster.get_node(0))
+    print(f"object lives on: {greeter.get_node()}")
+
+    # 5a. Synchronous invocation blocks for the result.
+    print(greeter.sinvoke("hello", ["world"]))
+
+    # 5b. Asynchronous invocation returns a handle immediately.
+    handle = greeter.ainvoke("hello", ["async world"])
+    print(f"handle ready yet? {handle.is_ready()}")
+    print(handle.get_result())
+
+    # 5c. One-sided invocation: fire and forget, no result at all.
+    greeter.oinvoke("hello", ["one-way world"])
+
+    # 6. System parameters are a first-class API (Section 4.6).
+    node = cluster.get_node(1)
+    print(
+        f"{node.hostname}: idle={node.get_sys_param('IDLE'):.0f}% "
+        f"peak={node.get_sys_param(JSConstants.PEAK_MFLOPS)} MFLOPS"
+    )
+
+    # 7. Free objects and unregister so JRS can clean up (Section 4.1).
+    from repro import context
+
+    kernel = context.require().runtime.world.kernel
+    kernel.sleep(0.5)  # let the one-way call land before counting
+    print(f"total greetings served: {greeter.sinvoke('count')}")
+    greeter.free()
+    reg.unregister()
+    print("unregistered cleanly")
+
+
+if __name__ == "__main__":
+    runtime = vienna_testbed(TestbedConfig(load_profile="night", seed=42))
+    runtime.run_app(app)
+    print(f"(simulated time elapsed: {runtime.world.now():.3f} s)")

@@ -1,0 +1,39 @@
+"""The JavaSymphony Runtime System (JRS) agents — paper Section 5.
+
+* :mod:`repro.agents.nas` / :mod:`repro.agents.network_agent` — the
+  Network Agent System (monitoring, aggregation, fault tolerance).
+* :mod:`repro.agents.pub_oa` / :mod:`repro.agents.app_oa` — the Object
+  Agent System (object tables, invocation, migration).
+* :mod:`repro.agents.shell` — the JS-Shell administration surface.
+"""
+
+from repro.agents.app_oa import AppOA, RefEntry
+from repro.agents.nas import NASConfig, NASEvent, NetworkAgentSystem
+from repro.agents.network_agent import NetworkAgent
+from repro.agents.objects import (
+    ClassRegistry,
+    ObjectEntry,
+    ObjectRef,
+    js_compute,
+    jsclass,
+)
+from repro.agents.pub_oa import PubOA, VAWatch
+from repro.agents.shell import JSShell, ShellConfig
+
+__all__ = [
+    "AppOA",
+    "RefEntry",
+    "NASConfig",
+    "NASEvent",
+    "NetworkAgentSystem",
+    "NetworkAgent",
+    "ClassRegistry",
+    "ObjectEntry",
+    "ObjectRef",
+    "js_compute",
+    "jsclass",
+    "PubOA",
+    "VAWatch",
+    "JSShell",
+    "ShellConfig",
+]

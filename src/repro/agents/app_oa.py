@@ -1,0 +1,448 @@
+"""The application object agent (AppOA), one per registered application.
+
+The AppOA lives on the application's home node.  It keeps the
+*local-objects-table* for this application's objects: the unique handle,
+the holder location (authoritative — the migration protocol keeps the
+origin informed, paper Figure 3), pending invocation results and
+executing flags.  Applications call the AppOA by direct local method
+invocation; everything beyond the home node goes over the transport.
+
+Also implemented here:
+
+* the three invocation modes (sync / async / one-sided), with one worker
+  process per asynchronous invocation (paper Section 5.2: "one thread for
+  every asynchronous method invocation");
+* RMI redirection on migrated objects (Figure 4): a stale holder answers
+  ``Moved``; the caller re-resolves via the object's *origin* AppOA and
+  retries;
+* the AppOA half of automatic migration: on a ``CONSTRAINTS_VIOLATED``
+  notification it moves its objects off violating nodes with
+  same-cluster → same-site → anywhere locality preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.agents import messages as M
+from repro.agents.holder_endpoints import HolderEndpoints
+from repro.agents.messages import Moved, UnknownObject
+from repro.agents.objects import ClassRegistry, ObjectRef
+from repro.errors import (
+    MigrationError,
+    ObjectStateError,
+    PersistenceError,
+    RegistrationError,
+)
+from repro.rmi.handle import ResultHandle
+from repro.transport import Addr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import JSRuntime
+
+_MAX_REDIRECTS = 8
+
+
+@dataclass
+class RefEntry:
+    """local-objects-table row for an object originated by this app."""
+
+    ref: ObjectRef
+    location: Addr
+    pending: int = 0            # in-flight async invocations
+    auto_migrations: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class AppOA(HolderEndpoints):
+    def __init__(self, runtime: "JSRuntime", app_id: str, home: str) -> None:
+        self.runtime = runtime
+        self.world = runtime.world
+        self.app_id = app_id
+        self.home = home
+        self.addr = Addr(home, f"app:{app_id}")
+        self.endpoint = runtime.transport.create_endpoint(self.addr)
+        self.loaded_classes: set[str] = set()  # the app's local CLASSPATH
+        self.refs: dict[str, RefEntry] = {}
+        #: location cache for handles originated by *other* applications
+        self.foreign_locations: dict[str, Addr] = {}
+        self.watch_ids: list[str] = []
+        self.closed = False
+        self.init_holder()
+        self.register_holder_handlers()
+        self.endpoint.register(M.GET_LOCATION, self._h_get_location)
+        self.endpoint.register(
+            M.CONSTRAINTS_VIOLATED, self._h_constraints_violated
+        )
+
+    # The application's own classes are on its CLASSPATH: anything
+    # registered globally can be instantiated *locally* without an
+    # explicit codebase load (paper Section 4.3: class files must be
+    # "locally in the CLASSPATH or at an arbitrary URL").
+    def class_available(self, class_name: str) -> bool:
+        return ClassRegistry.known(class_name)
+
+    @property
+    def migration_timeout(self):
+        return self.runtime.shell.config.rpc_timeout
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RegistrationError(
+                f"application {self.app_id} has unregistered"
+            )
+
+    @property
+    def rpc_timeout(self) -> float | None:
+        return self.runtime.shell.config.rpc_timeout
+
+    # ------------------------------------------------------------------------
+    # object creation / free
+    # ------------------------------------------------------------------------
+
+    def create_object(
+        self, class_name: str, host: str, args: tuple = ()
+    ) -> ObjectRef:
+        self._check_open()
+        obj_id = self.runtime.ids.next(f"{self.app_id}:obj")
+        if host == self.home:
+            # Locally generated objects live in the AppOA's own table.
+            location = self.addr
+            self.hold_new_object(obj_id, class_name, self.addr, args)
+        else:
+            location = Addr(host, "oa")
+            self.endpoint.rpc(
+                location,
+                M.CREATE_OBJECT,
+                (obj_id, class_name, self.addr, args),
+                timeout=self.rpc_timeout,
+            )
+        ref = ObjectRef(obj_id, class_name, self.addr, location)
+        self.refs[obj_id] = RefEntry(ref=ref, location=location)
+        return ref
+
+    def free_object(self, ref: ObjectRef) -> None:
+        self._check_open()
+        entry = self._own_entry(ref)
+        if entry.location == self.addr:
+            self.drop_object(ref.obj_id)
+        else:
+            self.endpoint.rpc(
+                entry.location, M.FREE_OBJECT, ref.obj_id,
+                timeout=self.rpc_timeout,
+            )
+        del self.refs[ref.obj_id]
+
+    def _own_entry(self, ref: ObjectRef) -> RefEntry:
+        entry = self.refs.get(ref.obj_id)
+        if entry is None:
+            raise ObjectStateError(
+                f"object {ref.obj_id} is not (or no longer) registered "
+                f"with application {self.app_id}"
+            )
+        return entry
+
+    # ------------------------------------------------------------------------
+    # location resolution (Figure 4)
+    # ------------------------------------------------------------------------
+
+    def _h_get_location(self, msg):
+        obj_id = msg.payload
+        entry = self.refs.get(obj_id)
+        if entry is None:
+            return UnknownObject(obj_id)
+        return entry.location
+
+    def _location_of(self, ref: ObjectRef) -> Addr:
+        if ref.origin == self.addr:
+            if ref.obj_id in self.objects and ref.obj_id not in self.refs:
+                # Held here without a table row: a local static segment.
+                return self.addr
+            return self._own_entry(ref).location
+        return self.foreign_locations.get(ref.obj_id, ref.location_hint)
+
+    def _update_location(self, ref: ObjectRef, location: Addr) -> None:
+        if ref.origin == self.addr:
+            entry = self.refs.get(ref.obj_id)
+            if entry is not None:
+                entry.location = location
+        else:
+            self.foreign_locations[ref.obj_id] = location
+
+    def _resolve_via_origin(self, ref: ObjectRef) -> Addr:
+        """Ask the AppOA the object originates from for its location."""
+        if ref.origin == self.addr:
+            return self._own_entry(ref).location
+        answer = self.endpoint.rpc(
+            ref.origin, M.GET_LOCATION, ref.obj_id, timeout=self.rpc_timeout
+        )
+        if isinstance(answer, UnknownObject):
+            raise ObjectStateError(
+                f"origin {ref.origin} no longer knows object {ref.obj_id} "
+                "(freed?)"
+            )
+        self._update_location(ref, answer)
+        return answer
+
+    # ------------------------------------------------------------------------
+    # invocation (paper Section 4.5)
+    # ------------------------------------------------------------------------
+
+    def sinvoke(self, ref: ObjectRef, method: str, params: Any = ()) -> Any:
+        """Synchronous (blocking) remote method invocation."""
+        self._check_open()
+        return self._invoke_with_redirect(ref, method, params)
+
+    def ainvoke(
+        self, ref: ObjectRef, method: str, params: Any = ()
+    ) -> ResultHandle:
+        """Asynchronous invocation: returns a :class:`ResultHandle`
+        immediately; a dedicated worker process carries the RMI."""
+        self._check_open()
+        kernel = self.world.kernel
+        future = kernel.create_future()
+        entry = self.refs.get(ref.obj_id)
+        if entry is not None:
+            entry.pending += 1
+
+        def worker() -> None:
+            try:
+                result = self._invoke_with_redirect(ref, method, params)
+            except BaseException as exc:  # noqa: BLE001 - to the handle
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+            finally:
+                if entry is not None:
+                    entry.pending -= 1
+
+        kernel.spawn(
+            worker, name=f"ainvoke-{method}@{self.app_id}", context={}
+        )
+        return ResultHandle(future)
+
+    def oinvoke(self, ref: ObjectRef, method: str, params: Any = ()) -> None:
+        """One-sided invocation: no result, no completion wait."""
+        self._check_open()
+        location = self._location_of(ref)
+        if location == self.addr:
+            # Local object: run it in the background without reply
+            # traffic.  Exceptions are dropped, exactly as a remote
+            # one-sided invocation would drop them (fire and forget).
+            def fire() -> None:
+                try:
+                    self.dispatch_invoke(ref.obj_id, method, params)
+                except Exception:  # noqa: BLE001 - one-sided semantics
+                    pass
+
+            self.world.kernel.spawn(
+                fire, name=f"oinvoke-{method}@{self.app_id}", context={}
+            )
+            return
+        self.endpoint.send_oneway(
+            location, M.ONEWAY_INVOKE, (ref.obj_id, method, params)
+        )
+
+    def _invoke_with_redirect(
+        self, ref: ObjectRef, method: str, params: Any
+    ) -> Any:
+        asked_origin = False
+        location = self._location_of(ref)
+        for _ in range(_MAX_REDIRECTS):
+            if location == self.addr:
+                outcome = self.dispatch_invoke(ref.obj_id, method, params)
+            else:
+                outcome = self.endpoint.rpc(
+                    location,
+                    M.INVOKE,
+                    (ref.obj_id, method, params),
+                    timeout=self.rpc_timeout,
+                )
+            if isinstance(outcome, Moved):
+                # Stale reference: chase the tombstone hint if present,
+                # otherwise ask the origin (Figure 4).
+                if outcome.hint is not None:
+                    location = outcome.hint
+                    self._update_location(ref, location)
+                else:  # pragma: no cover - tombstones always carry hints
+                    location = self._resolve_via_origin(ref)
+                    asked_origin = True
+                continue
+            if isinstance(outcome, UnknownObject):
+                if asked_origin:
+                    raise ObjectStateError(
+                        f"object {ref.obj_id} not found anywhere "
+                        "(freed while invoking?)"
+                    )
+                location = self._resolve_via_origin(ref)
+                asked_origin = True
+                continue
+            return outcome
+        raise ObjectStateError(
+            f"gave up invoking {method} on {ref.obj_id} after "
+            f"{_MAX_REDIRECTS} redirects"
+        )
+
+    # ------------------------------------------------------------------------
+    # migration (paper Figure 3: ao -> pa1 -> pa2)
+    # ------------------------------------------------------------------------
+
+    def migrate_object(self, ref: ObjectRef, target_host: str) -> Addr:
+        self._check_open()
+        entry = self._own_entry(ref)
+        src = entry.location
+        dst = self.addr if target_host == self.home else Addr(target_host, "oa")
+        if src == dst:
+            return dst
+        if src == self.addr:
+            # The object lives in our own table: run pa1's side inline.
+            outcome = self._h_migrate_out(
+                type("_Local", (), {"payload": (ref.obj_id, dst)})()
+            )
+        else:
+            outcome = self.endpoint.rpc(
+                src, M.MIGRATE_OUT, (ref.obj_id, dst),
+                timeout=self.rpc_timeout,
+            )
+        if not isinstance(outcome, dict) or "new_location" not in outcome:
+            raise MigrationError(f"unexpected migration outcome {outcome!r}")
+        entry.location = dst
+        return dst
+
+    # ------------------------------------------------------------------------
+    # persistence (paper Section 4.7)
+    # ------------------------------------------------------------------------
+
+    def store_object(self, ref: ObjectRef, key: str | None = None) -> str:
+        self._check_open()
+        entry = self._own_entry(ref)
+        if entry.location == self.addr:
+            blob, obj_entry = self.serialize_object(ref.obj_id)
+            class_name = obj_entry.class_name
+        else:
+            payload = self.endpoint.rpc(
+                entry.location, M.FETCH_STATE, ref.obj_id,
+                timeout=self.rpc_timeout,
+            )
+            class_name, blob = payload.data if hasattr(payload, "data") \
+                else payload
+        stored = self.runtime.persistent_store.save(class_name, blob, key=key)
+        # Remember the latest checkpoint; the optional failure-recovery
+        # extension (paper: future work) restores from it.
+        entry.meta["checkpoint"] = stored
+        return stored
+
+    def recover_from_failure(self, host: str) -> list[str]:
+        """EXTENSION (off by default; paper Section 5.1 calls OAS
+        recovery future work): re-create objects that lived on a failed
+        node from their most recent persistent checkpoint, on a fresh
+        node.  Objects without a checkpoint are lost, as in the paper.
+        Returns the obj_ids recovered."""
+        if self.closed:
+            return []
+        recovered: list[str] = []
+        for obj_id, entry in list(self.refs.items()):
+            if entry.location.host != host:
+                continue
+            key = entry.meta.get("checkpoint")
+            if key is None:
+                continue
+            record = self.runtime.persistent_store.load(key)
+            if record is None:
+                continue
+            target = self.runtime.choose_migration_target(host)
+            if target is None:
+                continue
+            class_name, blob = record
+            if target == self.home:
+                location = self.addr
+                self.hold_from_state(obj_id, class_name, blob, self.addr)
+            else:
+                from repro.util.serialization import Payload
+
+                location = Addr(target, "oa")
+                self.endpoint.rpc(
+                    location,
+                    M.CREATE_FROM_STATE,
+                    Payload(data=(obj_id, class_name, blob, self.addr),
+                            nbytes=len(blob)),
+                    timeout=self.rpc_timeout,
+                )
+            entry.location = location
+            recovered.append(obj_id)
+        return recovered
+
+    def load_object(self, key: str, host: str | None = None) -> ObjectRef:
+        self._check_open()
+        record = self.runtime.persistent_store.load(key)
+        if record is None:
+            raise PersistenceError(f"no persistent object under {key!r}")
+        class_name, blob = record
+        obj_id = self.runtime.ids.next(f"{self.app_id}:obj")
+        host = host or self.home
+        if host == self.home:
+            location = self.addr
+            self.hold_from_state(obj_id, class_name, blob, self.addr)
+        else:
+            from repro.util.serialization import Payload
+
+            location = Addr(host, "oa")
+            self.endpoint.rpc(
+                location,
+                M.CREATE_FROM_STATE,
+                Payload(data=(obj_id, class_name, blob, self.addr),
+                        nbytes=len(blob)),
+                timeout=self.rpc_timeout,
+            )
+        ref = ObjectRef(obj_id, class_name, self.addr, location)
+        self.refs[obj_id] = RefEntry(ref=ref, location=location)
+        return ref
+
+    # ------------------------------------------------------------------------
+    # automatic migration (AppOA half)
+    # ------------------------------------------------------------------------
+
+    def _h_constraints_violated(self, msg):
+        watch_id, violating, constraints = msg.payload
+        violating = set(violating)
+        for obj_id, entry in list(self.refs.items()):
+            if entry.location.host not in violating:
+                continue
+            target = self.runtime.choose_migration_target(
+                entry.location.host, constraints, exclude=violating
+            )
+            if target is None:
+                continue  # nowhere satisfies the constraints; stay put
+            try:
+                self.migrate_object(entry.ref, target)
+                entry.auto_migrations += 1
+            except (MigrationError, ObjectStateError):
+                continue
+        return None
+
+    # ------------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------------
+
+    def unregister(self) -> None:
+        """Release everything this application holds (paper Section 4.1:
+        un-registration lets JRS drop book-keeping and free memory)."""
+        if self.closed:
+            return
+        for obj_id, entry in list(self.refs.items()):
+            try:
+                self.free_object(entry.ref)
+            except Exception:  # noqa: BLE001 - best effort cleanup
+                self.refs.pop(obj_id, None)
+        for watch_id in self.watch_ids:
+            try:
+                self.endpoint.rpc(
+                    Addr(self.home, "oa"), M.UNREGISTER_VA, watch_id,
+                    timeout=self.rpc_timeout,
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        self.closed = True
+        self.endpoint.close()
+        self.runtime.forget_app(self.app_id)

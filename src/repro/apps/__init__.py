@@ -1,0 +1,46 @@
+"""Application library: the paper's matmul (Figure 6) plus two further
+workloads exercising locality mapping and async fan-out."""
+
+from repro.apps.jacobi import JacobiConfig, JacobiResult, JacobiStrip, run_jacobi
+from repro.apps.matmul import (
+    Matrix,
+    MatmulConfig,
+    MatmulResult,
+    ResultData,
+    TaskData,
+    run_matmul,
+    sequential_matmul_time,
+)
+from repro.apps.montecarlo import PiConfig, PiResult, PiSampler, run_pi
+from repro.apps.taskfarm import (
+    Collector,
+    FarmConfig,
+    FarmResult,
+    FarmWorker,
+    WorkUnit,
+    run_farm,
+)
+
+__all__ = [
+    "Collector",
+    "FarmConfig",
+    "FarmResult",
+    "FarmWorker",
+    "WorkUnit",
+    "run_farm",
+    "JacobiConfig",
+    "JacobiResult",
+    "JacobiStrip",
+    "run_jacobi",
+    "Matrix",
+    "MatmulConfig",
+    "MatmulResult",
+    "ResultData",
+    "TaskData",
+    "run_matmul",
+    "sequential_matmul_time",
+    "PiConfig",
+    "PiResult",
+    "PiSampler",
+    "run_pi",
+]

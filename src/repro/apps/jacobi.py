@@ -1,0 +1,164 @@
+"""2-D Jacobi iteration with explicit locality control.
+
+The locality showcase the paper's introduction motivates: strip-partition
+a grid over objects, one per node; every sweep exchanges boundary rows
+with the two neighbours and relaxes the interior.  Mapping neighbouring
+strips onto the *same physical cluster* (fast switched segment) versus
+scattering them across segments changes only communication — the ablation
+benchmark Ext-C measures exactly that difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.agents.objects import js_compute, jsclass
+from repro.core.codebase import JSCodebase
+from repro.core.jsobj import JSObj
+from repro.core.registration import JSRegistration
+from repro.util.serialization import Payload
+
+FLOAT_BYTES = 4
+
+
+@jsclass
+class JacobiStrip:
+    """One horizontal strip of the grid (with one ghost row per side)."""
+
+    def __init__(self) -> None:
+        self.grid: np.ndarray | None = None
+        self.rows = 0
+        self.cols = 0
+        self.__js_nbytes__ = 1024
+
+    @js_compute(lambda self, rows, cols, nominal=False: rows * cols * 0.5)
+    def init(self, rows: int, cols: int, nominal: bool = False) -> None:
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.__js_nbytes__ = (rows + 2) * cols * FLOAT_BYTES
+        if not nominal:
+            self.grid = np.zeros((rows + 2, cols), dtype=np.float32)
+            self.grid[0, :] = 1.0  # hot top boundary (global, overwritten
+            #                        by ghost exchange except on strip 0)
+
+    def top_row(self) -> Any:
+        """First interior row (the neighbour above needs it)."""
+        row = None if self.grid is None else self.grid[1].copy()
+        return Payload(data=row, nbytes=self.cols * FLOAT_BYTES)
+
+    def bottom_row(self) -> Any:
+        row = None if self.grid is None else self.grid[-2].copy()
+        return Payload(data=row, nbytes=self.cols * FLOAT_BYTES)
+
+    def set_ghost_top(self, row: Any) -> None:
+        if self.grid is not None and row is not None:
+            self.grid[0] = row
+
+    def set_ghost_bottom(self, row: Any) -> None:
+        if self.grid is not None and row is not None:
+            self.grid[-1] = row
+
+    @js_compute(lambda self: 5.0 * self.rows * self.cols)
+    def sweep(self) -> float:
+        """One Jacobi relaxation; returns the max residual."""
+        if self.grid is None:
+            return 0.0
+        interior = self.grid[1:-1]
+        relaxed = 0.25 * (
+            self.grid[:-2] + self.grid[2:]
+            + np.roll(interior, 1, axis=1) + np.roll(interior, -1, axis=1)
+        )
+        residual = float(np.abs(relaxed - interior).max())
+        self.grid[1:-1] = relaxed
+        return residual
+
+    def interior(self) -> np.ndarray | None:
+        return None if self.grid is None else self.grid[1:-1].copy()
+
+
+@dataclass
+class JacobiConfig:
+    rows: int = 120                  # global rows
+    cols: int = 120
+    strips: int = 4
+    iterations: int = 10
+    nominal: bool = False            # True: costs only, no real grid
+    #: explicit placement (one host per strip); None lets JRS choose
+    placement: list[str] | None = None
+
+
+@dataclass
+class JacobiResult:
+    hosts: list[str]
+    iterations: int
+    elapsed: float
+    residual: float
+    grid: np.ndarray | None
+
+
+def run_jacobi(config: JacobiConfig) -> JacobiResult:
+    """Run the strip-parallel Jacobi solver inside an app context."""
+    from repro import context
+
+    env = context.require()
+    kernel = env.runtime.world.kernel
+
+    reg = JSRegistration()
+    try:
+        codebase = JSCodebase()
+        codebase.add(JacobiStrip)
+        if config.placement is not None:
+            if len(config.placement) != config.strips:
+                raise ValueError("placement length must equal strips")
+            targets: list[Any] = list(config.placement)
+        else:
+            from repro.varch.cluster import Cluster
+
+            cluster = Cluster(config.strips)
+            targets = [cluster.get_node(i) for i in range(config.strips)]
+        codebase.load(
+            [t if isinstance(t, str) else t for t in targets]
+        )
+
+        rows_each = config.rows // config.strips
+        strips = [JSObj("JacobiStrip", target) for target in targets]
+        hosts = [s.get_node() for s in strips]
+        for strip in strips:
+            strip.sinvoke(
+                "init", [rows_each, config.cols, config.nominal]
+            )
+
+        t0 = kernel.now()
+        residual = 0.0
+        for _ in range(config.iterations):
+            # Boundary exchange: fetch all edges asynchronously, then
+            # install ghosts, then sweep everywhere in parallel.
+            tops = [s.ainvoke("top_row") for s in strips]
+            bottoms = [s.ainvoke("bottom_row") for s in strips]
+            top_rows = [h.get_result() for h in tops]
+            bottom_rows = [h.get_result() for h in bottoms]
+            for i, strip in enumerate(strips):
+                if i > 0:
+                    strip.sinvoke("set_ghost_top", [bottom_rows[i - 1]])
+                if i < len(strips) - 1:
+                    strip.sinvoke("set_ghost_bottom", [top_rows[i + 1]])
+            sweeps = [s.ainvoke("sweep") for s in strips]
+            residual = max(h.get_result() for h in sweeps)
+        elapsed = kernel.now() - t0
+
+        grid = None
+        if not config.nominal:
+            parts = [s.sinvoke("interior") for s in strips]
+            grid = np.vstack(parts)
+        return JacobiResult(
+            hosts=hosts,
+            iterations=config.iterations,
+            elapsed=elapsed,
+            residual=residual,
+            grid=grid,
+        )
+    finally:
+        reg.unregister()

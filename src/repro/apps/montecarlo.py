@@ -1,0 +1,87 @@
+"""Monte-Carlo pi estimation: the embarrassingly parallel workload.
+
+Exercises constraint-restricted clusters and pure asynchronous fan-out —
+the "task farming over idle workstations" use-case the paper's
+introduction motivates for wide-area metacomputing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agents.objects import js_compute, jsclass
+from repro.constraints import JSConstraints
+from repro.core.codebase import JSCodebase
+from repro.core.jsobj import JSObj
+from repro.core.registration import JSRegistration
+from repro.varch.cluster import Cluster
+
+#: modelled cost of drawing + testing one sample (flops)
+FLOPS_PER_SAMPLE = 30.0
+
+
+@jsclass
+class PiSampler:
+    @js_compute(lambda self, n, seed: n * FLOPS_PER_SAMPLE)
+    def sample(self, n: int, seed: int) -> int:
+        """Count hits inside the unit quarter-circle among ``n`` draws."""
+        rng = np.random.default_rng(seed)
+        xy = rng.random((int(n), 2))
+        return int(((xy ** 2).sum(axis=1) <= 1.0).sum())
+
+
+@dataclass
+class PiConfig:
+    samples: int = 200_000
+    nr_nodes: int = 4
+    seed: int = 11
+    constraints: JSConstraints | None = None
+
+
+@dataclass
+class PiResult:
+    pi: float
+    samples: int
+    hosts: list[str]
+    elapsed: float
+
+
+def run_pi(config: PiConfig) -> PiResult:
+    from repro import context
+
+    env = context.require()
+    kernel = env.runtime.world.kernel
+
+    reg = JSRegistration()
+    try:
+        cluster = Cluster(config.nr_nodes, constraints=config.constraints)
+        codebase = JSCodebase()
+        codebase.add(PiSampler)
+        codebase.load(cluster)
+
+        samplers = [
+            JSObj("PiSampler", cluster.get_node(i))
+            for i in range(cluster.nr_nodes())
+        ]
+        hosts = [s.get_node() for s in samplers]
+        per_node = config.samples // len(samplers)
+
+        t0 = kernel.now()
+        handles = [
+            sampler.ainvoke("sample", [per_node, config.seed + i])
+            for i, sampler in enumerate(samplers)
+        ]
+        hits = sum(handle.get_result() for handle in handles)
+        elapsed = kernel.now() - t0
+
+        total = per_node * len(samplers)
+        return PiResult(
+            pi=4.0 * hits / total,
+            samples=total,
+            hosts=hosts,
+            elapsed=elapsed,
+        )
+    finally:
+        reg.unregister()

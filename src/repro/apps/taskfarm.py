@@ -1,0 +1,193 @@
+"""A fault-tolerant task farm with checkpointing.
+
+The wide-area use-case the paper's introduction motivates: many
+independent work units farmed over non-dedicated machines, surviving the
+loss of workers.  This composes the JavaSymphony primitives:
+
+* a constrained cluster of workers + selective classloading,
+* asynchronous dispatch with timeout-based failure detection (the same
+  signal the Network Agent System uses),
+* application-level re-dispatch of units lost with a dead worker —
+  the paper's OAS deliberately does not recover objects, so a robust
+  *application* does it, exactly as 2000-era master/worker codes did,
+* periodic checkpointing of the collector object to persistent storage
+  (``obj.store``), so a crashed master could resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.objects import js_compute, jsclass
+from repro.constraints import JSConstraints
+from repro.core.codebase import JSCodebase
+from repro.core.jsobj import JSObj
+from repro.core.registration import JSRegistration
+from repro.errors import (
+    NodeFailedError,
+    RemoteInvocationError,
+    RPCTimeoutError,
+)
+from repro.util.serialization import Payload
+from repro.varch.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    unit_id: int
+    flops: float
+    payload_bytes: int = 2048
+
+    def answer(self) -> int:
+        # A deterministic "result" the tests can verify.
+        return self.unit_id * self.unit_id + 1
+
+
+@jsclass
+class FarmWorker:
+    def __init__(self) -> None:
+        self.processed = 0
+
+    @js_compute(lambda self, unit: unit.flops)
+    def process(self, unit: WorkUnit) -> tuple[int, int]:
+        self.processed += 1
+        return (unit.unit_id, unit.answer())
+
+
+@jsclass
+class Collector:
+    """Accumulates results; checkpointed via ``store()``."""
+
+    def __init__(self) -> None:
+        self.results: dict[int, int] = {}
+
+    def merge(self, unit_id: int, value: int) -> int:
+        self.results[unit_id] = value
+        return len(self.results)
+
+    def snapshot(self) -> dict[int, int]:
+        return dict(self.results)
+
+
+@dataclass
+class FarmConfig:
+    n_units: int = 60
+    flops_per_unit: float = 60e6     # ~1 s on the fastest machine
+    nr_nodes: int = 4
+    constraints: JSConstraints | None = None
+    #: checkpoint the collector after every N merged results
+    checkpoint_every: int = 20
+    checkpoint_key: str = "farm-checkpoint"
+    #: per-dispatch reply timeout; also the failure detector
+    unit_timeout: float = 120.0
+    poll_interval: float = 0.05
+
+
+@dataclass
+class FarmResult:
+    results: dict[int, int]
+    elapsed: float
+    workers: list[str]
+    dead_workers: list[str] = field(default_factory=list)
+    redispatched: int = 0
+    checkpoints: int = 0
+
+
+def run_farm(config: FarmConfig) -> FarmResult:
+    """Run the farm inside an application context."""
+    from repro import context
+
+    env = context.require()
+    kernel = env.runtime.world.kernel
+
+    reg = JSRegistration()
+    try:
+        cluster = Cluster(config.nr_nodes, constraints=config.constraints)
+        codebase = JSCodebase()
+        codebase.add(FarmWorker)
+        codebase.load(cluster)
+
+        workers: dict[str, JSObj] = {}
+        for i in range(cluster.nr_nodes()):
+            worker = JSObj("FarmWorker", cluster.get_node(i))
+            workers[worker.get_node()] = worker
+        collector = JSObj("Collector", "local")
+
+        pending = list(range(config.n_units))
+        in_flight: dict[str, tuple[int, object]] = {}
+        dead: list[str] = []
+        redispatched = 0
+        checkpoints = 0
+        merged = 0
+        t0 = kernel.now()
+
+        def dispatch(host: str, unit_id: int) -> None:
+            unit = WorkUnit(unit_id, config.flops_per_unit)
+            handle = workers[host].ainvoke(
+                "process", [Payload(data=unit, nbytes=unit.payload_bytes)]
+            )
+            in_flight[host] = (unit_id, handle)
+
+        while merged < config.n_units:
+            progressed = False
+            for host in list(workers):
+                if host in dead:
+                    continue
+                if host in in_flight:
+                    unit_id, handle = in_flight[host]
+                    if not handle.is_ready():
+                        continue
+                    try:
+                        uid, value = handle.get_result(
+                            timeout=config.unit_timeout
+                        )
+                    except (RPCTimeoutError, NodeFailedError,
+                            RemoteInvocationError):
+                        # Worker lost: bury it, put the unit back.
+                        dead.append(host)
+                        del in_flight[host]
+                        pending.append(unit_id)
+                        redispatched += 1
+                        progressed = True
+                        continue
+                    del in_flight[host]
+                    merged = collector.sinvoke("merge", [uid, value])
+                    if merged % config.checkpoint_every == 0:
+                        collector.store(config.checkpoint_key)
+                        checkpoints += 1
+                    progressed = True
+                if host not in in_flight and pending:
+                    dispatch(host, pending.pop(0))
+                    progressed = True
+            if not progressed:
+                if not in_flight and pending and all(
+                    h in dead for h in workers
+                ):
+                    raise RPCTimeoutError(
+                        "every worker died; farm cannot finish"
+                    )
+                kernel.sleep(config.poll_interval)
+                # Timeout check for silent workers (failed mid-unit).
+                for host, (unit_id, handle) in list(in_flight.items()):
+                    machine = env.runtime.world.machines.get(host)
+                    if machine is not None and machine.failed:
+                        dead.append(host)
+                        del in_flight[host]
+                        pending.append(unit_id)
+                        redispatched += 1
+
+        elapsed = kernel.now() - t0
+        results = collector.sinvoke("snapshot")
+        # Final checkpoint so a restart sees the complete result set.
+        collector.store(config.checkpoint_key)
+        checkpoints += 1
+        return FarmResult(
+            results=results,
+            elapsed=elapsed,
+            workers=list(workers),
+            dead_workers=dead,
+            redispatched=redispatched,
+            checkpoints=checkpoints,
+        )
+    finally:
+        reg.unregister()

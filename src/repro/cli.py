@@ -1,0 +1,186 @@
+"""Command-line interface: regenerate the paper's results directly.
+
+    python -m repro fig5 --n 1000            # one Figure-5 series
+    python -m repro matmul --n 128 --nodes 4 --real
+    python -m repro testbed                   # show the simulated cluster
+    python -m repro grid                      # show the wide-area grid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.matmul import MatmulConfig, run_matmul, sequential_matmul_time
+from repro.cluster import TestbedConfig, vienna_testbed
+from repro.util.tables import render_table
+
+DEFAULT_NODE_COUNTS = [1, 2, 4, 6, 8, 10, 11, 12, 13]
+
+
+def _parse_nodes(text: str) -> list[int]:
+    try:
+        counts = [int(chunk) for chunk in text.split(",") if chunk]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad node list {text!r}; expected e.g. '1,2,4,8'"
+        ) from None
+    if not counts or any(c < 1 or c > 13 for c in counts):
+        raise argparse.ArgumentTypeError("node counts must be in 1..13")
+    return counts
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    rows = []
+    series: dict[str, dict[int, float]] = {}
+    for profile in ("night", "day"):
+        series[profile] = {}
+        baseline = None
+        for nodes in args.nodes:
+            runtime = vienna_testbed(
+                TestbedConfig(load_profile=profile, seed=args.seed)
+            )
+            if nodes == 1:
+                elapsed = sequential_matmul_time(
+                    runtime.world, "milena", args.n
+                )
+            else:
+                elapsed = runtime.run_app(
+                    lambda n=nodes: run_matmul(
+                        MatmulConfig(n=args.n, nr_nodes=n,
+                                     real_compute=False)
+                    )
+                ).elapsed
+            if baseline is None:
+                baseline = elapsed
+            series[profile][nodes] = elapsed
+    for nodes in args.nodes:
+        night = series["night"][nodes]
+        day = series["day"][nodes]
+        rows.append([
+            nodes,
+            round(night, 1),
+            round(series["night"][args.nodes[0]] / night, 2),
+            round(day, 1),
+            round(series["day"][args.nodes[0]] / day, 2),
+        ])
+    print(render_table(
+        ["nodes", "night time [s]", "night speedup",
+         "day time [s]", "day speedup"],
+        rows,
+        title=(f"Figure 5 | matmul {args.n}x{args.n} on the simulated "
+               "Vienna cluster"),
+    ))
+    return 0
+
+
+def cmd_matmul(args: argparse.Namespace) -> int:
+    runtime = vienna_testbed(
+        TestbedConfig(load_profile=args.profile, seed=args.seed)
+    )
+    result = runtime.run_app(
+        lambda: run_matmul(
+            MatmulConfig(n=args.n, nr_nodes=args.nodes,
+                         real_compute=args.real)
+        )
+    )
+    print(f"N={result.n} on {result.nr_nodes} nodes "
+          f"({args.profile} load)")
+    print(f"  nodes       : {', '.join(result.hosts)}")
+    print(f"  tasks       : {result.nr_tasks}")
+    print(f"  elapsed     : {result.elapsed:.2f} simulated seconds")
+    if result.correct is not None:
+        print(f"  verified    : {result.correct}")
+    print("  tasks/node  : " + ", ".join(
+        f"{h}={c}" for h, c in sorted(result.tasks_per_host.items(),
+                                      key=lambda kv: -kv[1])
+    ))
+    return 0 if result.correct in (True, None) else 1
+
+
+def cmd_testbed(args: argparse.Namespace) -> int:
+    runtime = vienna_testbed(TestbedConfig(load_profile="dedicated"))
+    rows = []
+    for host in runtime.nas.known_hosts():
+        spec = runtime.world.machine(host).spec
+        cluster = runtime.nas.cluster_of(host)
+        role = "manager" if runtime.nas.is_manager(host) else (
+            "backup" if runtime.nas.is_backup(host) else "node"
+        )
+        rows.append([
+            host, spec.model, spec.mflops, int(spec.total_mem_mb),
+            int(spec.net_mbits), cluster, role,
+        ])
+    print(render_table(
+        ["host", "model", "MFLOPS", "mem MB", "net Mbit", "cluster",
+         "role"],
+        rows,
+        title="The simulated Vienna testbed (13 Sun workstations)",
+    ))
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    from repro.cluster import grid_testbed
+
+    runtime = grid_testbed(load_profile="dedicated")
+    rows = []
+    for site in runtime.nas.layout:
+        for cluster in runtime.nas.clusters_of_site(site):
+            members = runtime.nas.cluster_members(cluster)
+            manager = runtime.nas.cluster_manager(cluster)
+            rows.append([
+                site, cluster, len(members), manager,
+                ", ".join(members),
+            ])
+    print(render_table(
+        ["site", "cluster", "nodes", "manager", "members"],
+        rows,
+        title="The wide-area grid testbed (3 sites, 24 hosts)",
+    ))
+    print(f"domain manager: {runtime.nas.domain_manager()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PySymphony: reproduce JavaSymphony (CLUSTER 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig5 = sub.add_parser("fig5", help="regenerate a Figure-5 series")
+    p_fig5.add_argument("--n", type=int, default=1000,
+                        help="matrix dimension (default 1000)")
+    p_fig5.add_argument("--nodes", type=_parse_nodes,
+                        default=DEFAULT_NODE_COUNTS,
+                        help="comma-separated node counts")
+    p_fig5.add_argument("--seed", type=int, default=1)
+    p_fig5.set_defaults(fn=cmd_fig5)
+
+    p_mm = sub.add_parser("matmul", help="run one matmul configuration")
+    p_mm.add_argument("--n", type=int, default=128)
+    p_mm.add_argument("--nodes", type=int, default=4)
+    p_mm.add_argument("--profile", default="night",
+                      choices=["dedicated", "night", "day"])
+    p_mm.add_argument("--real", action="store_true",
+                      help="really multiply (and verify) the matrices")
+    p_mm.add_argument("--seed", type=int, default=1)
+    p_mm.set_defaults(fn=cmd_matmul)
+
+    p_tb = sub.add_parser("testbed", help="describe the Vienna testbed")
+    p_tb.set_defaults(fn=cmd_testbed)
+
+    p_grid = sub.add_parser("grid", help="describe the wide-area grid")
+    p_grid.set_defaults(fn=cmd_grid)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Runtime assembly: JSRuntime wiring and the paper's Vienna testbed."""
+
+from repro.cluster.builder import JSRuntime
+from repro.cluster.grid import (
+    GRID_HOSTS,
+    grid_layout,
+    grid_testbed,
+    grid_world,
+)
+from repro.cluster.testbed import (
+    SPARC_NAMES,
+    ULTRA_NAMES,
+    VIENNA_HOSTS,
+    VIENNA_LAYOUT,
+    TestbedConfig,
+    vienna_testbed,
+    vienna_world,
+)
+
+__all__ = [
+    "JSRuntime",
+    "GRID_HOSTS",
+    "grid_layout",
+    "grid_testbed",
+    "grid_world",
+    "SPARC_NAMES",
+    "ULTRA_NAMES",
+    "VIENNA_HOSTS",
+    "VIENNA_LAYOUT",
+    "TestbedConfig",
+    "vienna_testbed",
+    "vienna_world",
+]

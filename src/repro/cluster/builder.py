@@ -1,0 +1,261 @@
+"""``JSRuntime``: wiring a complete JRS over a simulated world.
+
+One runtime = one JRS installation: transport, Network Agent System,
+a PubOA per node, the JS-Shell, the resource pool (backed by monitored
+data), the persistent store, and per-application AppOAs.  Applications
+run via :meth:`run_app`, which pushes an ambient context so the paper's
+bare-constructor API (``JSRegistration()``, ``Node()``, ``JSObj(...)``)
+works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro import context
+from repro.agents.app_oa import AppOA
+from repro.agents.nas import NASConfig, NetworkAgentSystem
+from repro.agents.pub_oa import PubOA
+from repro.agents.shell import JSShell, ShellConfig
+from repro.constraints import JSConstraints
+from repro.core.persistence import PersistentStore
+from repro.errors import AllocationError, RegistrationError
+from repro.simnet.world import SimWorld
+from repro.sysmon import SysParam
+from repro.transport import Transport
+from repro.util.ids import IdGenerator
+from repro.varch.pool import MonitoredPool
+
+
+class JSRuntime:
+    def __init__(
+        self,
+        world: SimWorld,
+        layout: dict[str, dict[str, list[str]]],
+        nas_config: NASConfig | None = None,
+        shell_config: ShellConfig | None = None,
+        persistence_dir: str | None = None,
+        pool_policy: str = "available-compute",
+    ) -> None:
+        self.world = world
+        self.kernel = world.kernel
+        self.transport = Transport(world)
+        self.nas = NetworkAgentSystem(
+            world, self.transport, layout, nas_config
+        )
+        self.shell = JSShell(self, shell_config)
+        self.pool = MonitoredPool(
+            world,
+            hosts=self.nas.known_hosts(),
+            policy=pool_policy,
+            default_constraints=self.shell.config.default_constraints,
+            snapshot_fn=self.nas.latest_snapshot,
+            site_fn=self.nas.site_of,
+        )
+        self.persistent_store = PersistentStore(persistence_dir)
+        self.ids = IdGenerator()
+        self.pub_oas: dict[str, PubOA] = {}
+        self.apps: dict[str, AppOA] = {}
+        #: simulated "URL space" for codebase.add(url)
+        self.url_store: dict[str, list[str]] = {}
+        self._started = False
+        for host in self.nas.known_hosts():
+            self.ensure_pub_oa(host)
+        # Keep pool membership in sync when the NAS releases failed nodes.
+        self.nas.failure_listeners.append(self._on_node_failure)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "JSRuntime":
+        if self._started:
+            return self
+        self._started = True
+        self.nas.start()
+        for pub_oa in self.pub_oas.values():
+            pub_oa.start()
+        return self
+
+    def ensure_pub_oa(self, host: str) -> PubOA:
+        pub_oa = self.pub_oas.get(host)
+        if pub_oa is None:
+            pub_oa = PubOA(self, host)
+            self.pub_oas[host] = pub_oa
+            if self._started:
+                pub_oa.start()
+        return pub_oa
+
+    def register_archive(self, path_or_url: str, classes: list) -> None:
+        """Declare a "jar file" or codebase URL: a named bundle of classes
+        that ``JSCodebase.add(path_or_url)`` can pull in.  Class objects
+        are registered globally; strings must already be registered."""
+        from repro.agents.objects import ClassRegistry
+
+        names: list[str] = []
+        for item in classes:
+            if isinstance(item, type):
+                ClassRegistry.register(item)
+                names.append(item.__name__)
+            else:
+                ClassRegistry.resolve(str(item))  # validates
+                names.append(str(item))
+        self.url_store[path_or_url] = names
+
+    def _on_node_failure(self, host: str) -> None:
+        # NAS released the node: stop offering it to new allocations.  The
+        # OAS deliberately does NOT touch objects that lived there (paper:
+        # the object agent system does not yet exploit failure info) —
+        # unless the checkpoint-recovery extension is switched on.
+        if host in self.pool.hosts:
+            self.pool.remove_host(host)
+        if self.shell.config.oas_failure_recovery:
+            for app in list(self.apps.values()):
+                app.recover_from_failure(host)
+
+    # -- applications ------------------------------------------------------------
+
+    def register_app(self, home: str | None = None) -> AppOA:
+        if home is None:
+            home = self.nas.known_hosts()[0]
+        if home not in self.nas.known_hosts():
+            raise RegistrationError(f"home node {home!r} is not under JRS")
+        app_id = self.ids.next("app")
+        app = AppOA(self, app_id, home)
+        self.apps[app_id] = app
+        return app
+
+    def forget_app(self, app_id: str) -> None:
+        self.apps.pop(app_id, None)
+
+    def run_app(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        node: str | None = None,
+        name: str = "jsa",
+    ) -> Any:
+        """Run ``fn(*args)`` as a JavaSymphony application process and
+        return its result.  Agent loops keep running between calls."""
+        self.start()
+        home = node if node is not None else self.nas.known_hosts()[0]
+        env = context.Environment(pool=self.pool, runtime=self)
+        env.extras["home"] = home
+
+        def wrapped() -> Any:
+            with context.scoped(env):
+                return fn(*args)
+
+        proc = self.kernel.spawn(wrapped, name=name, context={"env": env})
+        self.kernel.run(main=proc)
+        return proc.result()
+
+    def spawn_app(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        node: str | None = None,
+        name: str = "jsa",
+    ):
+        """Spawn an application process without driving the kernel; use
+        with :meth:`run_apps` (or your own ``kernel.run``) to execute
+        several JSAs concurrently against one JRS."""
+        self.start()
+        home = node if node is not None else self.nas.known_hosts()[0]
+        env = context.Environment(pool=self.pool, runtime=self)
+        env.extras["home"] = home
+
+        def wrapped() -> Any:
+            with context.scoped(env):
+                return fn(*args)
+
+        return self.kernel.spawn(wrapped, name=name, context={"env": env})
+
+    def run_apps(
+        self, *specs: Callable[..., Any] | tuple
+    ) -> list[Any]:
+        """Run several applications concurrently; each spec is a callable
+        or ``(callable, home_node)``.  Returns their results in order."""
+        procs = []
+        for index, spec in enumerate(specs):
+            if isinstance(spec, tuple):
+                fn, node = spec
+            else:
+                fn, node = spec, None
+            procs.append(
+                self.spawn_app(fn, node=node, name=f"jsa-{index}")
+            )
+        for proc in procs:
+            self.kernel.run(main=proc)
+        return [proc.result() for proc in procs]
+
+    # -- placement decisions -------------------------------------------------------
+
+    def _placement_rank(
+        self,
+        hosts: Iterable[str],
+        constraints: JSConstraints | None,
+    ) -> list[str]:
+        merged = (
+            constraints.merged_with(self.shell.config.default_constraints)
+            if constraints is not None
+            else (self.shell.config.default_constraints or JSConstraints())
+        )
+        scored = []
+        for host in hosts:
+            if host not in self.pool.hosts:
+                continue
+            if self.world.machine(host).failed:
+                continue
+            snap = self.pool.snapshot(host)
+            if not merged.holds(snap):
+                continue
+            available = (
+                snap[SysParam.PEAK_MFLOPS] * snap[SysParam.IDLE] / 100.0
+            )
+            scored.append(
+                (snap[SysParam.JS_OBJECTS], -available, host)
+            )
+        return [host for _, _, host in sorted(scored)]
+
+    def choose_object_host(
+        self,
+        hosts: Iterable[str] | None = None,
+        constraints: JSConstraints | None = None,
+    ) -> str:
+        """Where JRS puts an object: "a node with the smallest system load
+        and reasonable resources available" among the candidates, spread
+        by how many objects each node already hosts."""
+        pool_hosts = self.pool.hosts if hosts is None else list(hosts)
+        ranked = self._placement_rank(pool_hosts, constraints)
+        if not ranked:
+            raise AllocationError(
+                "no node satisfies the object-placement constraints"
+            )
+        return ranked[0]
+
+    def choose_migration_target(
+        self,
+        from_host: str,
+        constraints: JSConstraints | None = None,
+        exclude: Iterable[str] = (),
+    ) -> str | None:
+        """Target for (auto-)migration off ``from_host``: prefer a node in
+        the same physical cluster, then the same site, then anywhere —
+        the paper's locality-preserving search order."""
+        excluded = set(exclude) | {from_host}
+        candidates = [
+            h for h in self._placement_rank(self.pool.hosts, constraints)
+            if h not in excluded
+        ]
+        if not candidates:
+            return None
+        home_cluster = self.nas.cluster_of(from_host)
+        home_site = self.nas.site_of(from_host)
+
+        def tier(host: str) -> int:
+            if home_cluster and self.nas.cluster_of(host) == home_cluster:
+                return 0
+            if home_site and self.nas.site_of(host) == home_site:
+                return 1
+            return 2
+
+        return min(candidates, key=lambda h: (tier(h), candidates.index(h)))

@@ -1,0 +1,16 @@
+"""Constraint system over monitored system parameters (Section 4.2)."""
+
+from repro.constraints.constraint import Constraint, JSConstraints
+from repro.constraints.ops import OPS, apply_op, coerce_number, normalize_op
+from repro.constraints.parser import parse_constraint, parse_constraints
+
+__all__ = [
+    "Constraint",
+    "JSConstraints",
+    "OPS",
+    "apply_op",
+    "coerce_number",
+    "normalize_op",
+    "parse_constraint",
+    "parse_constraints",
+]

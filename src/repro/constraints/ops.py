@@ -1,0 +1,59 @@
+"""Relational operators for constraints.
+
+A constraint is ``system_parameter  relational_operator  number_or_string``
+(paper Section 4.2).  Numeric parameters compare numerically (string
+literals like ``"10"`` are coerced); string parameters support equality
+and lexicographic ordering.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+from repro.errors import ConstraintError
+
+OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: single '=' tolerated as an alias for '=='
+ALIASES = {"=": "=="}
+
+
+def normalize_op(op: str) -> str:
+    op = op.strip()
+    op = ALIASES.get(op, op)
+    if op not in OPS:
+        raise ConstraintError(
+            f"unknown relational operator {op!r}; expected one of "
+            f"{sorted(OPS)}"
+        )
+    return op
+
+
+def coerce_number(value: Any) -> float:
+    if isinstance(value, bool):
+        raise ConstraintError("booleans are not valid constraint values")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise ConstraintError(
+                f"numeric parameter compared against non-number {value!r}"
+            ) from None
+    raise ConstraintError(f"cannot coerce {value!r} to a number")
+
+
+def apply_op(op: str, left: Any, right: Any, numeric: bool) -> bool:
+    fn = OPS[normalize_op(op)]
+    if numeric:
+        return fn(coerce_number(left), coerce_number(right))
+    return fn(str(left), str(right))

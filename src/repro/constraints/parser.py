@@ -1,0 +1,54 @@
+"""Parsing constraints from strings.
+
+The JS-Shell configures default constraints as text; ``parse_constraint``
+turns ``"IDLE >= 50"`` into a :class:`Constraint`, and
+``parse_constraints`` handles ``;``/newline-separated lists.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.constraints.constraint import Constraint, JSConstraints
+from repro.errors import ConstraintError
+from repro.sysmon.params import SysParam
+
+_PATTERN = re.compile(
+    r"^\s*(?P<param>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?P<op>==|!=|<=|>=|<|>|=)\s*"
+    r"(?P<value>.+?)\s*$"
+)
+
+
+def parse_constraint(text: str) -> Constraint:
+    match = _PATTERN.match(text)
+    if match is None:
+        raise ConstraintError(
+            f"cannot parse constraint {text!r}; expected "
+            "'PARAM op value' (e.g. 'IDLE >= 50')"
+        )
+    try:
+        param = SysParam.by_key(match.group("param"))
+    except KeyError as err:
+        raise ConstraintError(str(err)) from None
+    raw = match.group("value").strip().strip("'\"")
+    value: object = raw
+    if param.is_numeric:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ConstraintError(
+                f"parameter {param.name} is numeric but value {raw!r} is not"
+            ) from None
+    return Constraint(param, match.group("op"), value)
+
+
+def parse_constraints(text: str) -> JSConstraints:
+    constraints = JSConstraints()
+    for chunk in re.split(r"[;\n]", text):
+        chunk = chunk.strip()
+        if not chunk or chunk.startswith("#"):
+            continue
+        parsed = parse_constraint(chunk)
+        constraints.set_constraint(parsed.param, parsed.op, parsed.value)
+    return constraints

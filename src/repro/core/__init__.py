@@ -1,0 +1,22 @@
+"""The JavaSymphony programming model (paper Section 4)."""
+
+from repro.core.codebase import CodebaseEntry, JSCodebase
+from repro.core.constants import JSConstants
+from repro.core.js import JS
+from repro.core.jsobj import HostGroup, JSObj
+from repro.core.jsstatic import JSStatic
+from repro.core.persistence import PersistentStore
+from repro.core.registration import AppPool, JSRegistration
+
+__all__ = [
+    "CodebaseEntry",
+    "JSCodebase",
+    "JSConstants",
+    "JS",
+    "HostGroup",
+    "JSObj",
+    "JSStatic",
+    "PersistentStore",
+    "AppPool",
+    "JSRegistration",
+]

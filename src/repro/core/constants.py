@@ -1,0 +1,10 @@
+"""``JSConstants``: the paper's name for the system-parameter vocabulary.
+
+The paper writes ``JSConstants.CPU_SYS_LOAD``; our canonical enum is
+:class:`repro.sysmon.SysParam`.  This alias keeps paper snippets working
+verbatim.
+"""
+
+from repro.sysmon.params import SysParam as JSConstants
+
+__all__ = ["JSConstants"]

@@ -1,0 +1,52 @@
+"""The ``JS`` static helper class (paper Sections 4.4 and 4.7).
+
+``JS.getLocalNode()`` identifies the node the application executes on;
+``JS.load(key)`` re-creates a persistent object.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import context
+from repro.core.jsobj import JSObj
+
+
+class JS:
+    """Static utility surface, mirroring the paper's predefined class."""
+
+    @staticmethod
+    def get_local_node(app: Any = None) -> str:
+        """The host this application runs on — usable as a placement
+        target (``JSObj("C", JS.get_local_node())``)."""
+        app = app if app is not None else context.require_app()
+        return app.home
+
+    @staticmethod
+    def load(key: str, target: Any = None, app: Any = None) -> JSObj:
+        """Load a previously stored object from external storage onto the
+        local node (or ``target``)."""
+        app = app if app is not None else context.require_app()
+        host = None
+        if target is not None:
+            from repro.core.jsobj import _resolve_target_hosts
+
+            hosts = _resolve_target_hosts(target, app)
+            if hosts:
+                host = hosts[0]
+        ref = app.load_object(key, host=host)
+        return JSObj._from_ref(ref, app)
+
+    @staticmethod
+    def get_sys_param(host: str, param: Any, app: Any = None) -> Any:
+        """Monitored system parameter of a node (Section 4.6 access path)."""
+        from repro.sysmon import SysParam
+
+        app = app if app is not None else context.require_app()
+        if isinstance(param, str):
+            param = SysParam.by_key(param)
+        return app.runtime.nas.latest_snapshot(host)[param]
+
+    # Paper-style aliases.
+    getLocalNode = get_local_node
+    getSysParam = get_sys_param

@@ -1,0 +1,232 @@
+"""``JSObj``: the distributed object handle (paper Section 4.4/4.5/4.6).
+
+Creation maps the object onto a virtual-architecture component::
+
+    obj = JSObj("Matrix")                      # node chosen by JRS
+    obj = JSObj("Matrix", node)                # a specific Node
+    obj = JSObj("Matrix", cluster, constr)     # best node of the cluster
+    obj = JSObj("Matrix", obj2.get_node())     # co-locate with obj2
+
+Invocation (Section 4.5)::
+
+    result = obj.sinvoke("method", [a, b])     # synchronous
+    handle = obj.ainvoke("method", [a])        # asynchronous -> handle
+    obj.oinvoke("method", [a])                 # one-sided
+
+Migration (Section 4.6) and persistence (Section 4.7)::
+
+    obj.migrate(node); obj.migrate(cluster, constr); obj.migrate()
+    key = obj.store(); obj2 = JS.load(key)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro import context
+from repro.agents.app_oa import AppOA
+from repro.agents.objects import ObjectRef
+from repro.constraints import JSConstraints
+from repro.errors import MigrationError, ObjectStateError
+from repro.rmi.handle import ResultHandle
+from repro.varch.component import VAComponent
+
+
+@dataclass(frozen=True)
+class HostGroup:
+    """A plain set of candidate hosts usable as a placement target —
+    what ``obj.get_cluster()`` returns (the physical neighbourhood of the
+    object's current node)."""
+
+    label: str
+    hosts: tuple[str, ...]
+
+    def __iter__(self):
+        return iter(self.hosts)
+
+
+def _resolve_target_hosts(target: Any, app: AppOA) -> list[str] | None:
+    """Normalize a placement target to a candidate host list.
+    ``None`` means "anywhere JRS likes"."""
+    if target is None:
+        return None
+    if isinstance(target, str):
+        if target == "local":
+            return [app.home]
+        return [target]
+    if isinstance(target, HostGroup):
+        return list(target.hosts)
+    if isinstance(target, VAComponent):
+        return target.hostnames()
+    if isinstance(target, JSObj):
+        return [target.get_node()]
+    raise ObjectStateError(
+        f"bad placement target {target!r}: expected None, 'local', a host "
+        "name, Node/Cluster/Site/Domain, HostGroup or JSObj"
+    )
+
+
+def _to_wire(params: Sequence[Any] | None) -> list[Any]:
+    """Replace JSObj arguments by their ObjectRefs (handles are
+    first-order objects that can be passed to remote methods)."""
+    if params is None:
+        return []
+    return [p.ref if isinstance(p, JSObj) else p for p in params]
+
+
+class JSObj:
+    def __init__(
+        self,
+        class_name: str,
+        target: Any = None,
+        constraints: JSConstraints | None = None,
+        args: Sequence[Any] = (),
+        app: AppOA | None = None,
+    ) -> None:
+        self._app = app if app is not None else context.require_app()
+        runtime = self._app.runtime
+        hosts = _resolve_target_hosts(target, self._app)
+        if hosts is not None and len(hosts) == 1:
+            host = hosts[0]
+        else:
+            host = runtime.choose_object_host(hosts, constraints)
+        self._ref = self._app.create_object(
+            class_name, host, tuple(_to_wire(list(args)))
+        )
+
+    @classmethod
+    def _from_ref(cls, ref: ObjectRef, app: AppOA) -> "JSObj":
+        obj = cls.__new__(cls)
+        obj._app = app
+        obj._ref = ref
+        return obj
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def ref(self) -> ObjectRef:
+        return self._ref
+
+    @property
+    def obj_id(self) -> str:
+        return self._ref.obj_id
+
+    @property
+    def class_name(self) -> str:
+        return self._ref.class_name
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"<JSObj {self.class_name}#{self.obj_id}@{self.get_node()}>"
+
+    # -- invocation (Section 4.5) ---------------------------------------------
+
+    def _wrap_result(self, result: Any) -> Any:
+        if isinstance(result, ObjectRef):
+            return JSObj._from_ref(result, self._app)
+        return result
+
+    def sinvoke(self, method: str, params: Sequence[Any] | None = None) -> Any:
+        """Synchronous (blocking) method invocation."""
+        return self._wrap_result(
+            self._app.sinvoke(self._ref, method, _to_wire(params))
+        )
+
+    def ainvoke(
+        self, method: str, params: Sequence[Any] | None = None
+    ) -> ResultHandle:
+        """Asynchronous method invocation; returns a handle immediately."""
+        return self._app.ainvoke(self._ref, method, _to_wire(params))
+
+    def oinvoke(
+        self, method: str, params: Sequence[Any] | None = None
+    ) -> None:
+        """One-sided invocation: no result, no completion wait."""
+        self._app.oinvoke(self._ref, method, _to_wire(params))
+
+    # -- location & mapping introspection ------------------------------------------
+
+    def get_node(self) -> str:
+        """Host name the object currently lives on."""
+        return self._app._location_of(self._ref).host
+
+    def _physical_group(self, level: str) -> HostGroup:
+        nas = self._app.runtime.nas
+        host = self.get_node()
+        if level == "cluster":
+            cluster = nas.cluster_of(host)
+            hosts = nas.cluster_members(cluster) if cluster else [host]
+            return HostGroup(f"cluster:{cluster}", tuple(hosts))
+        if level == "site":
+            site = nas.site_of(host)
+            if site is None:
+                return HostGroup("site:?", (host,))
+            hosts = [
+                h
+                for cl in nas.clusters_of_site(site)
+                for h in nas.cluster_members(cl)
+            ]
+            return HostGroup(f"site:{site}", tuple(hosts))
+        return HostGroup("domain", tuple(nas.known_hosts()))
+
+    def get_cluster(self) -> HostGroup:
+        """The physical cluster around the object's current node, usable
+        as a placement target for co-location."""
+        return self._physical_group("cluster")
+
+    def get_site(self) -> HostGroup:
+        return self._physical_group("site")
+
+    def get_domain(self) -> HostGroup:
+        return self._physical_group("domain")
+
+    # -- migration (Section 4.6) ------------------------------------------------
+
+    def migrate(
+        self,
+        target: Any = None,
+        constraints: JSConstraints | None = None,
+    ) -> str:
+        """Move the object: to a specific node, to the best node of a
+        cluster/site/domain (optionally constrained), or — with no
+        arguments — wherever JRS decides.  Returns the new host."""
+        app = self._app
+        runtime = app.runtime
+        current = self.get_node()
+        hosts = _resolve_target_hosts(target, app)
+        if hosts is not None and len(hosts) == 1 and constraints is None:
+            new_host = hosts[0]
+        else:
+            candidates = runtime._placement_rank(
+                hosts if hosts is not None else runtime.pool.hosts,
+                constraints,
+            )
+            candidates = [h for h in candidates if h != current]
+            if not candidates:
+                raise MigrationError(
+                    "no migration target satisfies the constraints"
+                )
+            new_host = candidates[0]
+        if new_host == current:
+            return current
+        app.migrate_object(self._ref, new_host)
+        return new_host
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def free(self) -> None:
+        """Release the object (Section 4.4: enables garbage collection and
+        trims JRS book-keeping)."""
+        self._app.free_object(self._ref)
+
+    # -- persistence (Section 4.7) -----------------------------------------------
+
+    def store(self, key: str | None = None) -> str:
+        """Serialize to external storage; returns the unique key."""
+        return self._app.store_object(self._ref, key)
+
+    # Paper-style aliases.
+    getNode = get_node
+    getCluster = get_cluster
+    getSite = get_site
+    getDomain = get_domain

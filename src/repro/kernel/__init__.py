@@ -1,0 +1,28 @@
+"""Execution kernels: virtual-time (deterministic) and wall-clock.
+
+See :mod:`repro.kernel.base` for the contract both implement.
+"""
+
+from repro.kernel.base import (
+    Channel,
+    Future,
+    Kernel,
+    Process,
+    ProcessState,
+    Semaphore,
+)
+from repro.kernel.real import RealKernel
+from repro.kernel.rng import RngStreams
+from repro.kernel.virtual import VirtualKernel
+
+__all__ = [
+    "Channel",
+    "Future",
+    "Kernel",
+    "Process",
+    "ProcessState",
+    "Semaphore",
+    "RealKernel",
+    "RngStreams",
+    "VirtualKernel",
+]

@@ -1,0 +1,35 @@
+"""Seeded random streams.
+
+Every stochastic element of a simulation (per-host background load, jitter
+on monitoring periods, allocation tie-breaking) draws from an independent
+named stream derived from one root seed, so adding a consumer does not
+perturb the draws seen by existing consumers.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def _stable_key(name: str) -> int:
+    # str.hash() is salted per interpreter; crc32 is stable across runs.
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class RngStreams:
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """A generator unique to ``name``, stable across runs."""
+        gen = self._streams.get(name)
+        if gen is None:
+            seq = np.random.SeedSequence(
+                self.seed, spawn_key=(_stable_key(name),)
+            )
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen

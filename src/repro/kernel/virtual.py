@@ -1,0 +1,508 @@
+"""Deterministic virtual-time kernel.
+
+Processes are backed by real OS threads but run in strict lockstep: at any
+instant exactly one thread (either the scheduler or one process) is
+active, with handoff through per-process events.  This keeps the blocking
+programming style of the JavaSymphony API while making every run fully
+deterministic — events are ordered by ``(time, sequence-number)`` and all
+randomness flows from seeded streams.
+
+The technique is the classic thread-based discrete-event simulation: the
+scheduler pops the next event from a heap, advances the clock, resumes the
+owning process, and waits until that process blocks again through a kernel
+primitive before popping the next event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import KernelError, SimDeadlockError, WaitTimeout
+from repro.kernel.base import (
+    Channel,
+    Future,
+    Kernel,
+    Process,
+    ProcessState,
+    Semaphore,
+)
+
+_SWITCH_TIMEOUT = 60.0  # seconds of host time; trips only on kernel bugs
+
+
+class _KernelShutdown(BaseException):
+    """Raised inside process threads to unwind them on kernel shutdown.
+    Derives from BaseException so application except-clauses don't eat it."""
+
+
+class VirtualProcess(Process):
+    def __init__(
+        self,
+        kernel: "VirtualKernel",
+        pid: int,
+        name: str,
+        fn: Callable[..., Any],
+        args: tuple,
+        context: dict,
+    ) -> None:
+        self.kernel = kernel
+        self.pid = pid
+        self.name = name
+        self.context = context
+        self._fn = fn
+        self._args = args
+        self._state = ProcessState.NEW
+        self._resume_evt = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._result: Any = None
+        self._exc: BaseException | None = None
+        self._wake_token = 0
+        self._wake_reason: str | None = None
+        self.finished_future: VirtualFuture = VirtualFuture(kernel)
+
+    # -- Process API -------------------------------------------------------
+
+    @property
+    def state(self) -> ProcessState:
+        return self._state
+
+    def join(self, timeout: float | None = None) -> None:
+        if not self.finished_future.wait(timeout):
+            raise WaitTimeout(f"join on {self.name} timed out")
+
+    def result(self) -> Any:
+        if not self.finished:
+            raise KernelError(f"process {self.name} has not finished")
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+    # -- scheduler plumbing (kernel-internal) -------------------------------
+
+    def _start_thread(self) -> None:
+        self._thread = threading.Thread(
+            target=self._main, name=f"vproc-{self.pid}-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _main(self) -> None:
+        try:
+            # Wait for the scheduler to hand us control the first time.
+            self._wait_for_resume()
+        except _KernelShutdown:
+            self._state = ProcessState.FAILED
+            return
+        self._state = ProcessState.RUNNING
+        try:
+            self._result = self._fn(*self._args)
+            self._state = ProcessState.FINISHED
+        except _KernelShutdown:
+            # Kernel torn down: exit silently, touch no shared state.
+            self._state = ProcessState.FAILED
+            return
+        except BaseException as exc:  # noqa: BLE001 - captured for result()
+            self._exc = exc
+            self._state = ProcessState.FAILED
+            self.kernel._note_crash(self, exc)
+        # Completing the future wakes joiners via heap events; safe here
+        # because we still hold control.
+        if self._exc is not None:
+            self.finished_future.set_exception(self._exc)
+        else:
+            self.finished_future.set_result(self._result)
+        # Hand control back to the scheduler for good.
+        self.kernel._sched_evt.set()
+
+    def _wait_for_resume(self) -> None:
+        if not self._resume_evt.wait(_SWITCH_TIMEOUT):
+            raise KernelError(f"process {self.name}: resume wait timed out")
+        self._resume_evt.clear()
+        if self.kernel._shutting_down:
+            raise _KernelShutdown()
+
+    def _yield_to_scheduler(self) -> None:
+        self.kernel._sched_evt.set()
+        self._wait_for_resume()
+
+    def _block(self, why: str) -> str:
+        """Block the calling (current) process until woken.
+
+        Returns the wake reason ('wake' for a normal wake, 'timeout' for a
+        timer wake)."""
+        self._state = ProcessState.BLOCKED
+        self._wake_reason = None
+        self._yield_to_scheduler()
+        self._state = ProcessState.RUNNING
+        return self._wake_reason or "wake"
+
+    def _new_token(self) -> int:
+        self._wake_token += 1
+        return self._wake_token
+
+
+class VirtualFuture(Future):
+    def __init__(self, kernel: "VirtualKernel") -> None:
+        self._kernel = kernel
+        self._done = False
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._waiters: list[tuple[VirtualProcess, int]] = []
+        self._callbacks: list[Callable[["VirtualFuture"], None]] = []
+
+    def done(self) -> bool:
+        return self._done
+
+    def _complete(self) -> None:
+        for proc, token in self._waiters:
+            self._kernel._push_wake(self._kernel.now(), proc, token, "wake")
+        self._waiters.clear()
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self._kernel.call_soon(cb, self)
+
+    def set_result(self, value: Any) -> None:
+        if self._done:
+            raise KernelError("future already completed")
+        self._done = True
+        self._value = value
+        self._complete()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise KernelError("future already completed")
+        self._done = True
+        self._exc = exc
+        self._complete()
+
+    def add_done_callback(self, cb: Callable[["VirtualFuture"], None]) -> None:
+        """Run ``cb(self)`` in scheduler context once done (immediately if
+        already done).  Callbacks must not block."""
+        if self._done:
+            self._kernel.call_soon(cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        if self._done:
+            return True
+        proc = self._kernel._require_current()
+        token = proc._new_token()
+        self._waiters.append((proc, token))
+        if timeout is not None:
+            self._kernel._push_wake(
+                self._kernel.now() + timeout, proc, token, "timeout"
+            )
+        reason = proc._block("future-wait")
+        if reason == "timeout" and not self._done:
+            self._waiters = [
+                (p, t) for (p, t) in self._waiters if p is not proc
+            ]
+            return False
+        return self._done
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self.wait(timeout):
+            raise WaitTimeout("future result timed out")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def exception(self) -> BaseException | None:
+        return self._exc
+
+
+class VirtualChannel(Channel):
+    def __init__(self, kernel: "VirtualKernel") -> None:
+        self._kernel = kernel
+        self._items: deque[Any] = deque()
+        self._waiters: deque[tuple[VirtualProcess, int]] = deque()
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        while self._waiters:
+            proc, token = self._waiters.popleft()
+            self._kernel._push_wake(self._kernel.now(), proc, token, "wake")
+            break  # wake one consumer per item
+
+    def get(self, timeout: float | None = None) -> Any:
+        kernel = self._kernel
+        proc = kernel._require_current()
+        deadline = None if timeout is None else kernel.now() + timeout
+        while not self._items:
+            token = proc._new_token()
+            self._waiters.append((proc, token))
+            if deadline is not None:
+                kernel._push_wake(deadline, proc, token, "timeout")
+            reason = proc._block("channel-get")
+            if reason == "timeout" and not self._items:
+                self._waiters = deque(
+                    (p, t) for (p, t) in self._waiters if p is not proc
+                )
+                raise WaitTimeout("channel get timed out")
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class VirtualSemaphore(Semaphore):
+    def __init__(self, kernel: "VirtualKernel", value: int) -> None:
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self._kernel = kernel
+        self._value = value
+        self._waiters: deque[tuple[VirtualProcess, int]] = deque()
+
+    def acquire(self, timeout: float | None = None) -> None:
+        kernel = self._kernel
+        proc = kernel._require_current()
+        deadline = None if timeout is None else kernel.now() + timeout
+        while self._value <= 0:
+            token = proc._new_token()
+            self._waiters.append((proc, token))
+            if deadline is not None:
+                kernel._push_wake(deadline, proc, token, "timeout")
+            reason = proc._block("sem-acquire")
+            if reason == "timeout" and self._value <= 0:
+                self._waiters = deque(
+                    (p, t) for (p, t) in self._waiters if p is not proc
+                )
+                raise WaitTimeout("semaphore acquire timed out")
+        self._value -= 1
+
+    def release(self) -> None:
+        self._value += 1
+        if self._waiters:
+            proc, token = self._waiters.popleft()
+            self._kernel._push_wake(self._kernel.now(), proc, token, "wake")
+
+    def __enter__(self) -> "VirtualSemaphore":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class VirtualKernel(Kernel):
+    """Event-heap scheduler with cooperative thread-backed processes."""
+
+    def __init__(self, strict: bool = False) -> None:
+        #: strict=True re-raises the first unhandled process exception when
+        #: run() returns; agents are expected to handle their own errors, so
+        #: tests enable this to catch bugs.
+        self.strict = strict
+        self._time = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, tuple]] = []
+        self._sched_evt = threading.Event()
+        self._current: VirtualProcess | None = None
+        self._running = False
+        self._shutting_down = False
+        self._next_pid = 1
+        self.crashes: list[tuple[VirtualProcess, BaseException]] = []
+        self.processes: list[VirtualProcess] = []
+        _LIVE_KERNELS.add(self)
+
+    # -- time & events -------------------------------------------------------
+
+    def now(self) -> float:
+        return self._time
+
+    def _push(self, time: float, event: tuple) -> None:
+        if time < self._time - 1e-12:
+            raise KernelError(
+                f"cannot schedule event in the past ({time} < {self._time})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, event))
+
+    def _push_wake(
+        self, time: float, proc: VirtualProcess, token: int, reason: str
+    ) -> None:
+        self._push(time, ("wake", proc, token, reason))
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` in scheduler context at the current time.
+        The callable must not block."""
+        self._push(self._time, ("call", fn, args))
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        self._push(time, ("call", fn, args))
+
+    # -- processes -----------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str | None = None,
+        context: dict | None = None,
+        delay: float = 0.0,
+    ) -> VirtualProcess:
+        if context is None:
+            parent = self._current
+            context = parent.context if parent is not None else {}
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = VirtualProcess(
+            self, pid, name or f"proc-{pid}", fn, tuple(args), context
+        )
+        self.processes.append(proc)
+        self._push(self._time + delay, ("start", proc))
+        return proc
+
+    def sleep(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("cannot sleep a negative duration")
+        proc = self._require_current()
+        token = proc._new_token()
+        self._push_wake(self._time + duration, proc, token, "wake")
+        proc._block("sleeping")
+
+    def current_process(self) -> VirtualProcess | None:
+        return self._current
+
+    def _require_current(self) -> VirtualProcess:
+        proc = self._current
+        if proc is None:
+            raise KernelError(
+                "blocking kernel operation called outside a process"
+            )
+        return proc
+
+    def _note_crash(self, proc: VirtualProcess, exc: BaseException) -> None:
+        self.crashes.append((proc, exc))
+
+    # -- factories -----------------------------------------------------------
+
+    def create_future(self) -> VirtualFuture:
+        return VirtualFuture(self)
+
+    def create_channel(self) -> VirtualChannel:
+        return VirtualChannel(self)
+
+    def create_semaphore(self, value: int = 1) -> VirtualSemaphore:
+        return VirtualSemaphore(self, value)
+
+    # -- the scheduler loop ----------------------------------------------------
+
+    def _switch_to(self, proc: VirtualProcess) -> None:
+        self._current = proc
+        proc._resume_evt.set()
+        if not self._sched_evt.wait(_SWITCH_TIMEOUT):
+            raise KernelError(
+                f"scheduler handoff to {proc.name} timed out - a process "
+                "blocked outside kernel primitives?"
+            )
+        self._sched_evt.clear()
+        self._current = None
+
+    def _dispatch(self, event: tuple) -> None:
+        kind = event[0]
+        if kind == "start":
+            proc = event[1]
+            proc._start_thread()
+            self._switch_to(proc)
+        elif kind == "wake":
+            _, proc, token, reason = event
+            if (
+                proc.state is ProcessState.BLOCKED
+                and proc._wake_token == token
+            ):
+                proc._wake_reason = reason
+                self._switch_to(proc)
+            # else: stale wake (process already woken by the other path)
+        elif kind == "call":
+            _, fn, args = event
+            fn(*args)
+        else:  # pragma: no cover - defensive
+            raise KernelError(f"unknown event kind {kind!r}")
+
+    def run(
+        self,
+        main: Process | None = None,
+        until: float | None = None,
+    ) -> None:
+        if self._running:
+            raise KernelError("kernel.run() is not re-entrant")
+        if self._current is not None:
+            raise KernelError("kernel.run() called from inside a process")
+        self._running = True
+        try:
+            while self._heap:
+                if main is not None and main.finished:
+                    break
+                time, seq, event = self._heap[0]
+                if until is not None and time > until + 1e-12:
+                    self._time = until
+                    break
+                heapq.heappop(self._heap)
+                self._time = time
+                self._dispatch(event)
+            else:
+                # Heap exhausted.
+                if until is not None and self._time < until:
+                    self._time = until
+                if main is not None and not main.finished:
+                    raise SimDeadlockError(
+                        f"no more events but process {main.name} "
+                        f"is still {main.state.value}"
+                    )
+        finally:
+            self._running = False
+        if self.strict:
+            # The main process's own exception propagates through result();
+            # strict mode flags crashes in *background* processes, which
+            # would otherwise be silently swallowed.
+            background = [(p, e) for p, e in self.crashes if p is not main]
+            if background:
+                proc, exc = background[0]
+                raise KernelError(
+                    f"process {proc.name} crashed: {exc!r}"
+                ) from exc
+
+    def run_until_idle(self) -> None:
+        """Drain every pending event (only safe without infinite loops)."""
+        self.run()
+
+    def shutdown(self) -> None:
+        """Terminate every blocked process thread.
+
+        Finished simulations otherwise leak their daemon threads (agent
+        loops parked in kernel sleeps) for the life of the host process —
+        harmless for one simulation, fatal for a test suite that builds
+        hundreds.  Idempotent; the kernel is unusable afterwards."""
+        if self._shutting_down:
+            return
+        if self._running or self._current is not None:
+            raise KernelError("cannot shut down a running kernel")
+        self._shutting_down = True
+        self._heap.clear()
+        for proc in self.processes:
+            thread = proc._thread
+            if thread is not None and thread.is_alive():
+                proc._resume_evt.set()
+        for proc in self.processes:
+            thread = proc._thread
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=5.0)
+
+
+import weakref  # noqa: E402  (kept by the class registry below)
+
+#: every kernel ever created and not yet collected; test harnesses sweep
+#: this to shut down leaked simulations between tests.
+_LIVE_KERNELS: "weakref.WeakSet[VirtualKernel]" = weakref.WeakSet()
+
+
+def shutdown_all_kernels() -> None:
+    for kernel in list(_LIVE_KERNELS):
+        try:
+            kernel.shutdown()
+        except KernelError:
+            pass  # still running; its owner is responsible

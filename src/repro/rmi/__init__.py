@@ -1,0 +1,11 @@
+"""Remote method invocation surface: handles and invocation modes.
+
+The heavy lifting (dispatch, redirect-on-migration) lives with the agents
+(:mod:`repro.agents.app_oa`, :mod:`repro.agents.holder_endpoints`); this
+package exports the user-visible pieces.
+"""
+
+from repro.agents.objects import js_compute, jsclass
+from repro.rmi.handle import ResultHandle
+
+__all__ = ["js_compute", "jsclass", "ResultHandle"]

@@ -1,0 +1,31 @@
+"""``ResultHandle``: the future returned by asynchronous invocation.
+
+Paper Section 4.5::
+
+    ResultHandle hdl = obj.ainvoke("multiply", params);
+    if (hdl.isReady()) { result = hdl.getResult(); }
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernel.base import Future
+
+
+class ResultHandle:
+    def __init__(self, future: Future) -> None:
+        self._future = future
+
+    def is_ready(self) -> bool:
+        """Non-blocking availability test (paper: ``isReady``)."""
+        return self._future.done()
+
+    def get_result(self, timeout: float | None = None) -> Any:
+        """Block until the result arrives and return it, re-raising any
+        remote exception (paper: ``getResult``)."""
+        return self._future.result(timeout)
+
+    # Paper-style aliases.
+    isReady = is_ready
+    getResult = get_result

@@ -1,0 +1,34 @@
+"""Simulated physical testbed: hosts, background load, network topology.
+
+This package substitutes for the paper's 13 non-dedicated Sun
+workstations (see DESIGN.md, substitution table).
+"""
+
+from repro.simnet.host import SUN_MODELS, HostSpec, make_host
+from repro.simnet.load import (
+    ConstantLoad,
+    LoadModel,
+    SpikeLoad,
+    StochasticLoad,
+    TraceLoad,
+)
+from repro.simnet.machine import Machine, MachineCounters
+from repro.simnet.topology import Segment, Topology
+from repro.simnet.world import SimWorld, build_lan
+
+__all__ = [
+    "SUN_MODELS",
+    "HostSpec",
+    "make_host",
+    "ConstantLoad",
+    "LoadModel",
+    "SpikeLoad",
+    "StochasticLoad",
+    "TraceLoad",
+    "Machine",
+    "MachineCounters",
+    "Segment",
+    "Topology",
+    "SimWorld",
+    "build_lan",
+]

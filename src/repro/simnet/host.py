@@ -1,0 +1,87 @@
+"""Physical host specifications.
+
+The paper's testbed is a non-dedicated heterogeneous cluster of 13 Sun
+workstations (Sparcstation 4/110, 10/40, 5/70; Ultra 1/170, 10/300,
+10/440) under Solaris 7, JDK 1.2.1 + JIT.  ``SUN_MODELS`` captures those
+six models.  ``mflops`` is the *effective Java matrix-multiply throughput*
+of the era (JIT-compiled triple loop), not the marketing peak — that is
+the number the cost model divides by, so it is calibrated to make
+sequential runtimes land in the right ballpark for 2000-era hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of one physical machine."""
+
+    name: str
+    model: str
+    arch: str = "sparc"
+    cpu_type: str = "UltraSPARC"
+    cpu_mhz: float = 300.0
+    num_cpus: int = 1
+    #: effective double-precision MFLOP/s for JIT-compiled Java numeric code
+    mflops: float = 40.0
+    total_mem_mb: float = 128.0
+    total_swap_mb: float = 256.0
+    os_name: str = "SunOS"
+    os_version: str = "5.7"
+    jvm_version: str = "1.2.1"
+    #: network interface speed in Mbit/s (10 or 100 on the paper's testbed)
+    net_mbits: float = 100.0
+    ip_address: str = "0.0.0.0"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def flops(self) -> float:
+        """Effective FLOP/s."""
+        return self.mflops * 1e6
+
+
+#: The six Sun workstation models of the paper's testbed: model key ->
+#: (cpu_type, cpu_mhz, effective Java MFLOPS, memory MB, net Mbit/s).
+SUN_MODELS: dict[str, dict] = {
+    "SS4/110": dict(
+        cpu_type="microSPARC-II", cpu_mhz=110.0, mflops=5.5,
+        total_mem_mb=64.0, net_mbits=10.0,
+    ),
+    "SS10/40": dict(
+        cpu_type="SuperSPARC", cpu_mhz=40.0, mflops=3.5,
+        total_mem_mb=96.0, net_mbits=10.0,
+    ),
+    "SS5/70": dict(
+        cpu_type="microSPARC-II", cpu_mhz=70.0, mflops=4.5,
+        total_mem_mb=64.0, net_mbits=10.0,
+    ),
+    "Ultra1/170": dict(
+        cpu_type="UltraSPARC-I", cpu_mhz=167.0, mflops=22.0,
+        total_mem_mb=128.0, net_mbits=100.0,
+    ),
+    "Ultra10/300": dict(
+        cpu_type="UltraSPARC-IIi", cpu_mhz=300.0, mflops=42.0,
+        total_mem_mb=256.0, net_mbits=100.0,
+    ),
+    "Ultra10/440": dict(
+        cpu_type="UltraSPARC-IIi", cpu_mhz=440.0, mflops=60.0,
+        total_mem_mb=256.0, net_mbits=100.0,
+    ),
+}
+
+
+def make_host(name: str, model: str, ip_suffix: int = 1) -> HostSpec:
+    """Instantiate a host of one of the catalogued Sun models."""
+    if model not in SUN_MODELS:
+        raise KeyError(
+            f"unknown model {model!r}; known: {sorted(SUN_MODELS)}"
+        )
+    params = SUN_MODELS[model]
+    return HostSpec(
+        name=name,
+        model=model,
+        ip_address=f"131.130.32.{ip_suffix}",
+        **params,
+    )

@@ -1,0 +1,157 @@
+"""Background-load models for non-dedicated workstations.
+
+The paper ran Figure 5 twice on identical node sets: during the day (the
+owners doing "program development, e-mailing, etc.") and at night ("very
+little system load").  These models give each simulated host an external
+CPU utilisation as a function of time:
+
+* :class:`ConstantLoad` — fixed utilisation.
+* :class:`StochasticLoad` — a mean-reverting AR(1) process sampled on a
+  fixed tick; ``day()``/``night()`` provide the two calibrated profiles.
+* :class:`TraceLoad` — piecewise-constant playback of a recorded trace.
+* :class:`SpikeLoad` — a base model plus a rectangular load spike, used by
+  the auto-migration ablation.
+
+Values are utilisation fractions in [0, 1).  All models are deterministic
+functions of (time, rng seed) regardless of query order.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+class LoadModel(abc.ABC):
+    @abc.abstractmethod
+    def load_at(self, t: float) -> float:
+        """External CPU utilisation in [0, 1) at time ``t``."""
+
+    def mem_pressure_at(self, t: float) -> float:
+        """Fraction of memory consumed by external users at ``t``.
+        Defaults to tracking CPU load at half intensity."""
+        return 0.5 * self.load_at(t)
+
+
+class ConstantLoad(LoadModel):
+    def __init__(self, load: float = 0.0) -> None:
+        if not 0.0 <= load < 1.0:
+            raise ValueError(f"load must be in [0, 1), got {load}")
+        self._load = load
+
+    def load_at(self, t: float) -> float:
+        return self._load
+
+
+class StochasticLoad(LoadModel):
+    """Mean-reverting AR(1) load, piecewise constant over ``tick`` seconds.
+
+    ``x[k+1] = mean + rho * (x[k] - mean) + sigma * noise``, clipped to
+    [floor, ceil].  The sequence is generated lazily but depends only on
+    the seed and tick index, never on query order.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean: float = 0.4,
+        sigma: float = 0.1,
+        rho: float = 0.8,
+        tick: float = 10.0,
+        floor: float = 0.0,
+        ceil: float = 0.97,
+    ) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("rho must be in [0, 1)")
+        self._rng = rng
+        self.mean = mean
+        self.sigma = sigma
+        self.rho = rho
+        self.tick = tick
+        self.floor = floor
+        self.ceil = ceil
+        self._values: list[float] = [
+            float(np.clip(rng.normal(mean, sigma), floor, ceil))
+        ]
+
+    @classmethod
+    def day(cls, rng: np.random.Generator, **overrides) -> "StochasticLoad":
+        """Workstations in active interactive use."""
+        params = dict(mean=0.45, sigma=0.18, rho=0.85, tick=10.0)
+        params.update(overrides)
+        return cls(rng, **params)
+
+    @classmethod
+    def night(cls, rng: np.random.Generator, **overrides) -> "StochasticLoad":
+        """Nearly idle machines (cron jobs, daemons)."""
+        params = dict(mean=0.03, sigma=0.02, rho=0.7, tick=10.0)
+        params.update(overrides)
+        return cls(rng, **params)
+
+    def _extend_to(self, k: int) -> None:
+        while len(self._values) <= k:
+            prev = self._values[-1]
+            nxt = (
+                self.mean
+                + self.rho * (prev - self.mean)
+                + self.sigma * float(self._rng.normal())
+            )
+            self._values.append(float(np.clip(nxt, self.floor, self.ceil)))
+
+    def load_at(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("negative time")
+        k = int(math.floor(t / self.tick))
+        self._extend_to(k)
+        return self._values[k]
+
+
+class TraceLoad(LoadModel):
+    """Piecewise-constant playback: value ``samples[i]`` holds during
+    ``[i * interval, (i+1) * interval)``; the last sample holds forever."""
+
+    def __init__(self, samples: Sequence[float], interval: float) -> None:
+        if not samples:
+            raise ValueError("empty trace")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        bad = [s for s in samples if not 0.0 <= s < 1.0]
+        if bad:
+            raise ValueError(f"trace samples outside [0, 1): {bad[:3]}")
+        self._samples = list(samples)
+        self._interval = interval
+
+    def load_at(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("negative time")
+        idx = min(int(t / self._interval), len(self._samples) - 1)
+        return self._samples[idx]
+
+
+class SpikeLoad(LoadModel):
+    """``base`` load plus an additive rectangular spike in
+    ``[start, start + duration)`` — the "somebody started a big compile"
+    scenario used for migration experiments."""
+
+    def __init__(
+        self,
+        base: LoadModel,
+        start: float,
+        duration: float,
+        magnitude: float = 0.85,
+    ) -> None:
+        self._base = base
+        self.start = start
+        self.duration = duration
+        self.magnitude = magnitude
+
+    def load_at(self, t: float) -> float:
+        load = self._base.load_at(t)
+        if self.start <= t < self.start + self.duration:
+            load = min(0.99, load + self.magnitude)
+        return load

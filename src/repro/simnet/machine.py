@@ -1,0 +1,122 @@
+"""Per-host runtime state: the ground truth the monitoring system samples.
+
+A :class:`Machine` combines a static :class:`HostSpec` with a background
+:class:`LoadModel` and the dynamic state imposed by PySymphony itself
+(active computations, object memory, loaded codebases).  The effective
+compute rate available to one PySymphony task is::
+
+    spec.flops × (1 − background_load) ÷ concurrent_js_tasks
+
+which is what a nice-priority JVM thread would get on a time-shared
+Solaris box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NodeFailedError
+from repro.simnet.host import HostSpec
+from repro.simnet.load import ConstantLoad, LoadModel
+
+#: A machine under 100% external load still makes *some* progress.
+MIN_CPU_SHARE = 0.03
+
+
+@dataclass
+class MachineCounters:
+    """Cumulative activity counters (feed the synthetic dynamic params)."""
+
+    invocations_served: int = 0
+    objects_created: int = 0
+    objects_hosted: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+
+
+@dataclass
+class Machine:
+    spec: HostSpec
+    load_model: LoadModel = field(default_factory=ConstantLoad)
+    failed: bool = False
+    #: number of PySymphony computations currently executing here
+    active_tasks: int = 0
+    #: MB held by PySymphony objects resident on this host
+    js_mem_mb: float = 0.0
+    #: MB held by codebases loaded to this host
+    codebase_mem_mb: float = 0.0
+    counters: MachineCounters = field(default_factory=MachineCounters)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    # -- CPU -----------------------------------------------------------------
+
+    def background_load(self, t: float) -> float:
+        return self.load_model.load_at(t)
+
+    def cpu_share(self, t: float) -> float:
+        """Fraction of the CPU available to PySymphony work at ``t``."""
+        return max(MIN_CPU_SHARE, 1.0 - self.background_load(t))
+
+    def effective_flops(self, t: float, concurrency: int | None = None) -> float:
+        """FLOP/s one task gets, given ``concurrency`` JS tasks sharing."""
+        if concurrency is None:
+            concurrency = max(1, self.active_tasks)
+        return self.spec.flops * self.cpu_share(t) / max(1, concurrency)
+
+    def compute_time(
+        self, flops: float, t: float, concurrency: int | None = None
+    ) -> float:
+        """Seconds to execute ``flops`` starting at ``t``."""
+        if flops < 0:
+            raise ValueError("negative flops")
+        if flops == 0:
+            return 0.0
+        self.check_alive()
+        return flops / self.effective_flops(t, concurrency)
+
+    def begin_task(self) -> None:
+        self.check_alive()
+        self.active_tasks += 1
+
+    def end_task(self) -> None:
+        if self.active_tasks <= 0:
+            raise RuntimeError(f"{self.name}: end_task without begin_task")
+        self.active_tasks -= 1
+
+    # -- memory --------------------------------------------------------------
+
+    def background_mem_mb(self, t: float) -> float:
+        """MB consumed by external users + OS at ``t``."""
+        base_os = 0.18 * self.spec.total_mem_mb
+        external = self.load_model.mem_pressure_at(t) * (
+            0.6 * self.spec.total_mem_mb
+        )
+        return base_os + external
+
+    def avail_mem_mb(self, t: float) -> float:
+        used = self.background_mem_mb(t) + self.js_mem_mb + self.codebase_mem_mb
+        return max(0.0, self.spec.total_mem_mb - used)
+
+    def swap_ratio(self, t: float) -> float:
+        """Used/available swap; grows once physical memory is tight."""
+        pressure = 1.0 - self.avail_mem_mb(t) / self.spec.total_mem_mb
+        return max(0.0, min(1.0, 1.6 * (pressure - 0.5)))
+
+    # -- failure -------------------------------------------------------------
+
+    def check_alive(self) -> None:
+        if self.failed:
+            raise NodeFailedError(f"host {self.name} has failed")
+
+    def fail(self) -> None:
+        self.failed = True
+
+    def restore(self) -> None:
+        self.failed = False

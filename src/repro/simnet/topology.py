@@ -1,0 +1,156 @@
+"""Physical network topology and transfer-cost model.
+
+The paper's testbed: all Ultras on a 100 Mbit/s switch, all other
+workstations on 10 Mbit/s shared Ethernet, bridged into one LAN.  We model
+the network as *segments* (switch/hub domains) connected by a backbone
+graph (networkx).  A transfer pays:
+
+    software overhead + sum(latency of segments crossed)
+    + bytes / (min bandwidth along path × fair share)
+
+Shared (hub) segments divide bandwidth among concurrent transfers — the
+fair share is computed from the number of active transfers when this one
+starts (a processor-sharing approximation that avoids re-scheduling every
+in-flight transfer on each arrival).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import TransportError
+
+#: Per-message software overhead in seconds (RMI dispatch, serialization
+#: setup).  Java RMI on JDK 1.2 cost around a millisecond per call on a
+#: LAN before any payload bytes moved.
+DEFAULT_SW_OVERHEAD = 0.0012
+#: Fraction of nominal bandwidth achievable in practice.
+DEFAULT_EFFICIENCY = 0.7
+
+
+@dataclass
+class Segment:
+    """One collision/switch domain."""
+
+    name: str
+    bandwidth_mbits: float
+    latency_s: float = 0.0005
+    #: shared=True models hub Ethernet: concurrent transfers split the
+    #: medium.  Switched segments only share per-endpoint, which we fold
+    #: into efficiency.
+    shared: bool = False
+    active_transfers: int = field(default=0, compare=False)
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.bandwidth_mbits * 1e6 / 8.0
+
+
+class Topology:
+    """Hosts attached to segments; segments joined by backbone edges."""
+
+    def __init__(
+        self,
+        sw_overhead: float = DEFAULT_SW_OVERHEAD,
+        efficiency: float = DEFAULT_EFFICIENCY,
+        loopback_bytes_per_s: float = 200e6,
+    ) -> None:
+        self.sw_overhead = sw_overhead
+        self.efficiency = efficiency
+        self.loopback_bytes_per_s = loopback_bytes_per_s
+        self._segments: dict[str, Segment] = {}
+        self._host_segment: dict[str, str] = {}
+        self._graph = nx.Graph()
+
+    # -- construction --------------------------------------------------------
+
+    def add_segment(self, segment: Segment) -> None:
+        if segment.name in self._segments:
+            raise TransportError(f"duplicate segment {segment.name!r}")
+        self._segments[segment.name] = segment
+        self._graph.add_node(segment.name)
+
+    def connect_segments(
+        self, a: str, b: str, latency_s: float = 0.0005
+    ) -> None:
+        for name in (a, b):
+            if name not in self._segments:
+                raise TransportError(f"unknown segment {name!r}")
+        self._graph.add_edge(a, b, latency=latency_s)
+
+    def attach_host(self, host: str, segment: str) -> None:
+        if segment not in self._segments:
+            raise TransportError(f"unknown segment {segment!r}")
+        self._host_segment[host] = segment
+
+    # -- queries -------------------------------------------------------------
+
+    def segment_of(self, host: str) -> Segment:
+        try:
+            return self._segments[self._host_segment[host]]
+        except KeyError:
+            raise TransportError(f"host {host!r} not attached") from None
+
+    def segments_between(self, src: str, dst: str) -> list[Segment]:
+        """Segments a (src -> dst) transfer crosses, in order."""
+        seg_a = self.segment_of(src).name
+        seg_b = self.segment_of(dst).name
+        if seg_a == seg_b:
+            return [self._segments[seg_a]]
+        try:
+            path = nx.shortest_path(self._graph, seg_a, seg_b)
+        except nx.NetworkXNoPath:
+            raise TransportError(
+                f"no route between segments {seg_a!r} and {seg_b!r}"
+            ) from None
+        return [self._segments[name] for name in path]
+
+    def path_latency(self, src: str, dst: str) -> float:
+        segs = self.segments_between(src, dst)
+        latency = sum(seg.latency_s for seg in segs)
+        for a, b in zip(segs, segs[1:]):
+            latency += self._graph.edges[a.name, b.name]["latency"]
+        return latency
+
+    # -- cost model ----------------------------------------------------------
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` from ``src`` to ``dst`` given current
+        contention.  Same-host messages pay loopback cost only."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if src == dst:
+            return self.sw_overhead + nbytes / self.loopback_bytes_per_s
+        segs = self.segments_between(src, dst)
+        # Bottleneck bandwidth with fair sharing on hub segments.
+        rate = float("inf")
+        for seg in segs:
+            share = 1.0
+            if seg.shared:
+                share = 1.0 / (1 + seg.active_transfers)
+            rate = min(rate, seg.bytes_per_s * self.efficiency * share)
+        return self.sw_overhead + self.path_latency(src, dst) + nbytes / rate
+
+    def begin_transfer(self, src: str, dst: str) -> list[Segment]:
+        """Mark a transfer active on the crossed segments; the caller must
+        pass the returned list to :meth:`end_transfer` when it completes."""
+        if src == dst:
+            return []
+        segs = self.segments_between(src, dst)
+        for seg in segs:
+            seg.active_transfers += 1
+        return segs
+
+    def end_transfer(self, segs: list[Segment]) -> None:
+        for seg in segs:
+            if seg.active_transfers <= 0:
+                raise TransportError(
+                    f"end_transfer without begin on segment {seg.name!r}"
+                )
+            seg.active_transfers -= 1
+
+    @property
+    def hosts(self) -> list[str]:
+        return sorted(self._host_segment)

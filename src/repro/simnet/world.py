@@ -1,0 +1,167 @@
+"""The simulated world: kernel + machines + network in one handle.
+
+``SimWorld`` is the substrate everything above (transport, agents, the
+programming model) runs against.  It also works with a
+:class:`repro.kernel.real.RealKernel`, in which case compute charges turn
+into (dilated) real sleeps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import TransportError
+from repro.kernel import Kernel, RngStreams
+from repro.kernel.virtual import VirtualKernel
+from repro.simnet.host import HostSpec
+from repro.simnet.load import ConstantLoad, LoadModel
+from repro.simnet.machine import Machine
+from repro.simnet.topology import Segment, Topology
+
+
+class SimWorld:
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        topology: Topology | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else VirtualKernel()
+        self.topology = topology if topology is not None else Topology()
+        self.rng = RngStreams(seed)
+        self.machines: dict[str, Machine] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_machine(
+        self,
+        spec: HostSpec,
+        segment: str,
+        load_model: LoadModel | None = None,
+    ) -> Machine:
+        if spec.name in self.machines:
+            raise TransportError(f"duplicate machine {spec.name!r}")
+        machine = Machine(
+            spec=spec,
+            load_model=load_model if load_model is not None else ConstantLoad(),
+        )
+        self.machines[spec.name] = machine
+        self.topology.attach_host(spec.name, segment)
+        return machine
+
+    def add_segment(self, segment: Segment) -> None:
+        self.topology.add_segment(segment)
+
+    # -- queries -------------------------------------------------------------
+
+    def machine(self, name: str) -> Machine:
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise TransportError(f"unknown machine {name!r}") from None
+
+    def host_names(self) -> list[str]:
+        return sorted(self.machines)
+
+    def now(self) -> float:
+        return self.kernel.now()
+
+    # -- compute charging ------------------------------------------------------
+
+    #: long computations re-sample load/concurrency every this many seconds
+    compute_resample = 5.0
+
+    def compute(self, host: str, flops: float) -> float:
+        """Execute ``flops`` of work on ``host``; blocks the calling process
+        for the modelled duration and returns it.
+
+        Effective speed (background load and JS-task sharing) is
+        re-sampled every :attr:`compute_resample` seconds, so a task that
+        starts during a load spike speeds back up when the spike passes —
+        a time-shared CPU, not a locked-in rate.
+        """
+        if flops < 0:
+            raise ValueError("negative flops")
+        machine = self.machine(host)
+        machine.begin_task()
+        t0 = self.now()
+        try:
+            remaining = float(flops)
+            while remaining > 0:
+                machine.check_alive()
+                rate = machine.effective_flops(
+                    self.now(), machine.active_tasks
+                )
+                slice_time = remaining / rate
+                if slice_time <= self.compute_resample:
+                    self.kernel.sleep(slice_time)
+                    break
+                self.kernel.sleep(self.compute_resample)
+                remaining -= rate * self.compute_resample
+        finally:
+            machine.end_task()
+        return self.now() - t0
+
+    # -- network -------------------------------------------------------------
+
+    def transfer_delay(self, src: str, dst: str, nbytes: int) -> float:
+        """Compute the delay for a message and account for contention.
+
+        The crossed segments' active-transfer counters are incremented now
+        and decremented when the transfer completes (scheduled on the
+        kernel), so overlapping transfers on shared segments slow each
+        other down.
+        """
+        self.machine(src).check_alive()
+        self.machine(dst).check_alive()
+        delay = self.topology.transfer_time(src, dst, nbytes)
+        segs = self.topology.begin_transfer(src, dst)
+        if segs:
+            self.kernel.call_at(
+                self.now() + delay, self.topology.end_transfer, segs
+            )
+        src_m, dst_m = self.machine(src), self.machine(dst)
+        src_m.counters.bytes_sent += nbytes
+        src_m.counters.messages_sent += 1
+        dst_m.counters.bytes_received += nbytes
+        dst_m.counters.messages_received += 1
+        return delay
+
+    # -- failures ------------------------------------------------------------
+
+    def fail_host(self, name: str) -> None:
+        self.machine(name).fail()
+
+    def restore_host(self, name: str) -> None:
+        self.machine(name).restore()
+
+    def schedule_failure(self, name: str, at: float) -> None:
+        self.kernel.call_at(at, self.fail_host, name)
+
+    def alive_hosts(self) -> list[str]:
+        return [n for n, m in sorted(self.machines.items()) if not m.failed]
+
+
+def build_lan(
+    world: SimWorld,
+    fast_hosts: Iterable[HostSpec] = (),
+    slow_hosts: Iterable[HostSpec] = (),
+    fast_mbits: float = 100.0,
+    slow_mbits: float = 10.0,
+    load_models: dict[str, LoadModel] | None = None,
+) -> SimWorld:
+    """Wire the paper's two-segment LAN: a switched fast segment and a
+    shared slow segment, bridged."""
+    load_models = load_models or {}
+    world.add_segment(
+        Segment("switch-100", bandwidth_mbits=fast_mbits, shared=False)
+    )
+    world.add_segment(
+        Segment("hub-10", bandwidth_mbits=slow_mbits, shared=True)
+    )
+    world.topology.connect_segments("switch-100", "hub-10", latency_s=0.0004)
+    for spec in fast_hosts:
+        world.add_machine(spec, "switch-100", load_models.get(spec.name))
+    for spec in slow_hosts:
+        world.add_machine(spec, "hub-10", load_models.get(spec.name))
+    return world

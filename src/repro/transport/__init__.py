@@ -1,0 +1,8 @@
+"""Message transport: the Java/RMI stand-in.
+
+See :mod:`repro.transport.rpc` for the core machinery.
+"""
+
+from repro.transport.rpc import Addr, Endpoint, Message, RemoteError, Transport
+
+__all__ = ["Addr", "Endpoint", "Message", "RemoteError", "Transport"]

@@ -1,0 +1,302 @@
+"""RPC over the simulated network — the stand-in for Java/RMI.
+
+Agents register *endpoints* (one per ``(host, agent-name)`` pair) with
+handlers keyed by message kind.  An RPC:
+
+1. measures the request payload (honoring nominal :class:`Payload` sizes),
+2. charges the network (latency + bandwidth share + software overhead),
+3. executes the handler **in its own spawned process at the destination**
+   (JavaSymphony ran one thread per incoming request on the PubOA),
+4. charges the network again for the reply and completes the caller's
+   future.
+
+Failure semantics mirror a real LAN: messages to or from a failed host
+are silently dropped — the caller learns about failures only through
+timeouts, which is exactly what the paper's Network Agent System relies
+on for failure detection.
+
+Arguments and results cross the "wire" by pickle round-trip, so mutation
+on the callee is invisible to the caller (true copy semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, NamedTuple
+
+from repro.errors import (
+    NodeFailedError,
+    RemoteInvocationError,
+    TransportError,
+)
+from repro.kernel.base import Future
+from repro.simnet.world import SimWorld
+from repro.util.ids import IdGenerator
+from repro.util.serialization import deep_copy_via_pickle, sizeof
+
+
+class Addr(NamedTuple):
+    """Transport address: which agent on which host."""
+
+    host: str
+    agent: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.agent}@{self.host}"
+
+
+@dataclass
+class Message:
+    msg_id: str
+    src: Addr
+    dst: Addr
+    kind: str
+    payload: Any
+    nbytes: int = 0
+
+
+@dataclass
+class RemoteError:
+    """Wire representation of an exception raised by a remote handler."""
+
+    exc: BaseException
+    where: Addr
+
+
+@dataclass
+class TransportStats:
+    messages: int = 0
+    rpcs: int = 0
+    oneways: int = 0
+    dropped: int = 0
+    bytes_total: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+
+class Endpoint:
+    def __init__(self, transport: "Transport", addr: Addr) -> None:
+        self.transport = transport
+        self.addr = addr
+        self._handlers: dict[str, Callable[[Message], Any]] = {}
+        self.closed = False
+
+    def register(self, kind: str, handler: Callable[[Message], Any]) -> None:
+        if kind in self._handlers:
+            raise TransportError(
+                f"{self.addr}: handler for {kind!r} already registered"
+            )
+        self._handlers[kind] = handler
+
+    def handler_for(self, kind: str) -> Callable[[Message], Any]:
+        try:
+            return self._handlers[kind]
+        except KeyError:
+            raise TransportError(
+                f"{self.addr}: no handler for message kind {kind!r}"
+            ) from None
+
+    def close(self) -> None:
+        self.closed = True
+        self.transport._unregister(self.addr)
+
+    # -- convenience wrappers -------------------------------------------------
+
+    def rpc(
+        self,
+        dst: Addr,
+        kind: str,
+        payload: Any = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """Blocking RPC; returns the reply value or raises the remote
+        exception / :class:`repro.errors.RPCTimeoutError`."""
+        return self.transport.rpc(self.addr, dst, kind, payload).result_or_timeout(
+            timeout
+        )
+
+    def rpc_async(self, dst: Addr, kind: str, payload: Any = None) -> "Reply":
+        return self.transport.rpc(self.addr, dst, kind, payload)
+
+    def send_oneway(self, dst: Addr, kind: str, payload: Any = None) -> None:
+        self.transport.send(self.addr, dst, kind, payload, oneway=True)
+
+
+class Reply:
+    """Caller-side handle on an in-flight RPC."""
+
+    def __init__(self, future: Future, transport: "Transport") -> None:
+        self._future = future
+        self._transport = transport
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._future.wait(timeout)
+
+    def result_or_timeout(self, timeout: float | None = None) -> Any:
+        from repro.errors import RPCTimeoutError, WaitTimeout
+
+        try:
+            value = self._future.result(timeout)
+        except WaitTimeout:
+            raise RPCTimeoutError(
+                f"no reply within {timeout} s (peer failed?)"
+            ) from None
+        if isinstance(value, RemoteError):
+            exc = value.exc
+            if isinstance(exc, NodeFailedError):
+                raise exc
+            raise RemoteInvocationError(
+                f"remote handler at {value.where} raised {exc!r}", cause=exc
+            )
+        return value
+
+
+class Transport:
+    def __init__(
+        self,
+        world: SimWorld,
+        copy_semantics: bool = True,
+        fifo: bool = True,
+    ) -> None:
+        self.world = world
+        self.copy_semantics = copy_semantics
+        #: fifo=True models RMI over persistent TCP connections: messages
+        #: between the same pair of hosts are delivered in send order, so
+        #: a small call cannot overtake a large one (the paper's
+        #: ``oinvoke init`` -> ``ainvoke multiply`` pattern relies on it).
+        self.fifo = fifo
+        self.stats = TransportStats()
+        self._endpoints: dict[Addr, Endpoint] = {}
+        self._ids = IdGenerator()
+        self._last_delivery: dict[tuple[str, str], float] = {}
+        #: sender-side CPU cost of an RMI: dispatch plus serialization.
+        #: JDK 1.2 object serialization ran at a handful of MB/s, a large
+        #: part of why "a larger number of RMIs" degrades the paper's
+        #: >10-node runs.  Charged as compute on the sending machine.
+        self.cpu_flops_per_msg = 25_000.0
+        self.cpu_flops_per_byte = 4.0
+
+    # -- endpoints ------------------------------------------------------------
+
+    def create_endpoint(self, addr: Addr) -> Endpoint:
+        if addr in self._endpoints:
+            raise TransportError(f"endpoint {addr} already exists")
+        endpoint = Endpoint(self, addr)
+        self._endpoints[addr] = endpoint
+        return endpoint
+
+    def _unregister(self, addr: Addr) -> None:
+        self._endpoints.pop(addr, None)
+
+    def endpoint(self, addr: Addr) -> Endpoint | None:
+        return self._endpoints.get(addr)
+
+    # -- send path -------------------------------------------------------------
+
+    def rpc(self, src: Addr, dst: Addr, kind: str, payload: Any) -> Reply:
+        future = self.world.kernel.create_future()
+        self.stats.rpcs += 1
+        self.send(src, dst, kind, payload, oneway=False, reply_future=future)
+        return Reply(future, self)
+
+    def send(
+        self,
+        src: Addr,
+        dst: Addr,
+        kind: str,
+        payload: Any,
+        oneway: bool = True,
+        reply_future: Future | None = None,
+    ) -> None:
+        if oneway:
+            self.stats.oneways += 1
+        self.stats.messages += 1
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        nbytes = sizeof(payload)
+        self.stats.bytes_total += nbytes
+        msg = Message(
+            msg_id=self._ids.next("msg"),
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            nbytes=nbytes,
+        )
+        self._charge_sender_cpu(src.host, nbytes)
+        try:
+            delay = self.world.transfer_delay(src.host, dst.host, nbytes)
+        except NodeFailedError:
+            # Dropped on the floor; the caller's timeout is the detector.
+            self.stats.dropped += 1
+            return
+        deliver_at = self.world.now() + delay
+        if self.fifo:
+            key = (src.host, dst.host)
+            deliver_at = max(deliver_at, self._last_delivery.get(key, 0.0))
+            self._last_delivery[key] = deliver_at
+        self.world.kernel.call_at(deliver_at, self._deliver, msg, reply_future)
+
+    # -- receive path ------------------------------------------------------------
+
+    def _deliver(self, msg: Message, reply_future: Future | None) -> None:
+        if self.world.machine(msg.dst.host).failed:
+            self.stats.dropped += 1
+            return
+        endpoint = self._endpoints.get(msg.dst)
+        if endpoint is None or endpoint.closed:
+            self.stats.dropped += 1
+            return
+        if self.copy_semantics:
+            msg.payload = deep_copy_via_pickle(msg.payload)
+        # One process per incoming request, as the paper's PubOA runs one
+        # thread per request.
+        self.world.kernel.spawn(
+            self._execute,
+            endpoint,
+            msg,
+            reply_future,
+            name=f"handle-{msg.kind}@{msg.dst.host}",
+            context={"addr": msg.dst},
+        )
+
+    def _execute(
+        self, endpoint: Endpoint, msg: Message, reply_future: Future | None
+    ) -> None:
+        try:
+            handler = endpoint.handler_for(msg.kind)
+            result: Any = handler(msg)
+        except BaseException as exc:  # noqa: BLE001 - shipped to caller
+            result = RemoteError(exc=exc, where=msg.dst)
+        if reply_future is None:
+            return
+        nbytes = sizeof(result)
+        self.stats.messages += 1
+        self.stats.bytes_total += nbytes
+        try:
+            self._charge_sender_cpu(msg.dst.host, nbytes)
+            delay = self.world.transfer_delay(msg.dst.host, msg.src.host, nbytes)
+        except NodeFailedError:
+            self.stats.dropped += 1
+            return
+        if self.copy_semantics and not isinstance(result, RemoteError):
+            result = deep_copy_via_pickle(result)
+        deliver_at = self.world.now() + delay
+        if self.fifo:
+            key = (msg.dst.host, msg.src.host)
+            deliver_at = max(deliver_at, self._last_delivery.get(key, 0.0))
+            self._last_delivery[key] = deliver_at
+        self.world.kernel.call_at(
+            deliver_at, self._complete, reply_future, result
+        )
+
+    def _charge_sender_cpu(self, host: str, nbytes: int) -> None:
+        flops = self.cpu_flops_per_msg + nbytes * self.cpu_flops_per_byte
+        if flops > 0 and self.world.kernel.current_process() is not None:
+            self.world.compute(host, flops)
+
+    @staticmethod
+    def _complete(future: Future, result: Any) -> None:
+        if not future.done():
+            future.set_result(result)

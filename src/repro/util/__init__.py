@@ -1,0 +1,28 @@
+"""Shared utilities: id generation, serialization with size measurement,
+basic statistics, and ASCII table rendering for benchmark harnesses."""
+
+from repro.util.ids import IdGenerator, fresh_id
+from repro.util.serialization import (
+    Payload,
+    deep_copy_via_pickle,
+    dumps,
+    loads,
+    sizeof,
+)
+from repro.util.stats import mean, stdev, percentile, summarize
+from repro.util.tables import render_table
+
+__all__ = [
+    "IdGenerator",
+    "fresh_id",
+    "Payload",
+    "deep_copy_via_pickle",
+    "dumps",
+    "loads",
+    "sizeof",
+    "mean",
+    "stdev",
+    "percentile",
+    "summarize",
+    "render_table",
+]

@@ -1,0 +1,73 @@
+"""Small statistics helpers used by the monitoring system and the
+benchmark harness.  Kept dependency-light (no scipy) because they run in
+hot monitoring loops."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Iterable[float]) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+@dataclass(frozen=True)
+class Summary:
+    count: int
+    mean: float
+    stdev: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stdev=stdev(values),
+        min=min(values),
+        max=max(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+    )
+
+
+def ewma(previous: float | None, sample: float, alpha: float = 0.3) -> float:
+    """Exponentially weighted moving average step."""
+    if previous is None:
+        return sample
+    return alpha * sample + (1.0 - alpha) * previous

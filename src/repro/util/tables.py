@@ -1,0 +1,59 @@
+"""ASCII table rendering for the benchmark harness.
+
+The harness prints the same rows/series the paper reports (Figure 5 in
+particular), so the output needs to be stable and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.  Columns auto-size to content."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(fill: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(fill * (w + 2) for w in widths) + joint
+
+    def render_row(values: Sequence[str]) -> str:
+        return (
+            "|"
+            + "|".join(f" {v:>{w}} " for v, w in zip(values, widths))
+            + "|"
+        )
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append(render_row(list(headers)))
+    out.append(line("="))
+    for row in cells:
+        out.append(render_row(row))
+    out.append(line())
+    return "\n".join(out)

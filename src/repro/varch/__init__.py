@@ -1,0 +1,28 @@
+"""Dynamic virtual distributed architectures (paper Sections 3 and 4.2)."""
+
+from repro.varch.cluster import Cluster
+from repro.varch.component import VAComponent
+from repro.varch.domain import Domain
+from repro.varch.managers import (
+    HierarchyManagers,
+    ManagerAssignment,
+    assign_cluster_managers,
+    assign_hierarchy,
+)
+from repro.varch.node import Node
+from repro.varch.pool import MonitoredPool, ResourcePool
+from repro.varch.site import Site
+
+__all__ = [
+    "Cluster",
+    "VAComponent",
+    "Domain",
+    "HierarchyManagers",
+    "ManagerAssignment",
+    "assign_cluster_managers",
+    "assign_hierarchy",
+    "Node",
+    "MonitoredPool",
+    "ResourcePool",
+    "Site",
+]

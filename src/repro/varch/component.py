@@ -1,0 +1,80 @@
+"""Base class for virtual-architecture components.
+
+Every component — node, cluster, site, domain — supports the Section 4.6
+introspection API: ``getSysParam`` (averaged across contained nodes for
+aggregates) and ``constrHold``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.constraints import JSConstraints
+from repro.errors import ArchitectureError
+from repro.sysmon import SysParam, average_snapshots
+from repro.sysmon.sampler import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.varch.node import Node
+
+
+class VAComponent:
+    _kind = "component"
+
+    def __init__(self, pool: Any) -> None:
+        self._pool = pool
+        self._freed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def _check_active(self) -> None:
+        if self._freed:
+            raise ArchitectureError(
+                f"this {self._kind} has been freed"
+            )
+
+    # -- structure (subclasses provide) ----------------------------------------
+
+    def nodes(self) -> "list[Node]":
+        raise NotImplementedError
+
+    def hostnames(self) -> list[str]:
+        return [n.hostname for n in self.nodes()]
+
+    # -- monitoring (Section 4.6) -------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """This component's parameter snapshot; aggregates average across
+        their nodes (as the paper's managers do)."""
+        self._check_active()
+        nodes = self.nodes()
+        if not nodes:
+            raise ArchitectureError(
+                f"{self._kind} has no nodes to sample"
+            )
+        snaps = [self._pool.snapshot(n.hostname) for n in nodes]
+        if len(snaps) == 1:
+            return snaps[0]
+        return average_snapshots(snaps).params
+
+    def get_sys_param(self, param: SysParam | str) -> Any:
+        if isinstance(param, str):
+            param = SysParam.by_key(param)
+        return self.snapshot()[param]
+
+    def constr_hold(self, constraints: JSConstraints) -> bool:
+        """True iff the constraints hold for **every** node of the
+        component — the same per-node semantics used at allocation time."""
+        self._check_active()
+        return all(
+            constraints.holds(self._pool.snapshot(n.hostname))
+            for n in self.nodes()
+        )
+
+    # Paper-style camelCase aliases.
+    getSysParam = get_sys_param
+    constrHold = constr_hold

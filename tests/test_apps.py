@@ -1,0 +1,223 @@
+"""Tests for the application library: matmul (Figure 6), Jacobi, pi."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import TestbedConfig as TBConfig
+from repro.cluster import vienna_testbed
+from repro.apps import (
+    JacobiConfig,
+    MatmulConfig,
+    PiConfig,
+    run_jacobi,
+    run_matmul,
+    run_pi,
+    sequential_matmul_time,
+)
+from repro.constraints import JSConstraints
+from repro.sysmon import SysParam
+
+
+def make_bed(profile="dedicated", seed=2):
+    return vienna_testbed(TBConfig(load_profile=profile, seed=seed))
+
+
+class TestMatmul:
+    def test_real_result_verified(self):
+        rt = make_bed()
+        res = rt.run_app(
+            lambda: run_matmul(MatmulConfig(n=96, nr_nodes=4))
+        )
+        assert res.correct is True
+        assert res.nr_tasks == -(-96 // MatmulConfig(n=96).resolved_rows_per_task())
+        assert len(res.hosts) == 4
+
+    def test_all_tasks_distributed(self):
+        rt = make_bed()
+        res = rt.run_app(
+            lambda: run_matmul(MatmulConfig(n=64, nr_nodes=3))
+        )
+        assert sum(res.tasks_per_host.values()) == res.nr_tasks
+
+    def test_single_node_still_works(self):
+        rt = make_bed()
+        res = rt.run_app(
+            lambda: run_matmul(MatmulConfig(n=48, nr_nodes=1))
+        )
+        assert res.correct is True
+
+    def test_odd_sizes_handled(self):
+        # n not divisible by rows_per_task exercises the ceil logic.
+        rt = make_bed()
+        res = rt.run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=50, nr_nodes=3, rows_per_task=7)
+            )
+        )
+        assert res.correct is True
+        assert res.nr_tasks == 8
+
+    def test_nominal_mode_matches_shape(self):
+        rt = make_bed()
+        res = rt.run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=1000, nr_nodes=4, real_compute=False)
+            )
+        )
+        assert res.correct is None
+        assert res.elapsed > 1.0
+
+    def test_nominal_faster_hosts_get_more_tasks(self):
+        rt = make_bed("night")
+        res = rt.run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=1000, nr_nodes=6, real_compute=False)
+            )
+        )
+        per_host = res.tasks_per_host
+        fastest = max(per_host, key=per_host.get)
+        assert fastest in ("milena", "rachel")
+
+    def test_parallel_beats_sequential_at_night(self):
+        rt = make_bed("night")
+        seq = sequential_matmul_time(rt.world, "milena", 1000)
+        rt2 = make_bed("night")
+        par = rt2.run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=1000, nr_nodes=6, real_compute=False)
+            )
+        ).elapsed
+        assert par < 0.5 * seq
+
+    def test_constrained_cluster(self):
+        rt = make_bed()
+        constr = JSConstraints([(SysParam.PEAK_MFLOPS, ">=", 20)])
+        res = rt.run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=64, nr_nodes=5, constraints=constr)
+            )
+        )
+        # Only Ultras satisfy >= 20 MFLOPS.
+        assert all(
+            h in ("milena", "rachel", "johanna", "theresa",
+                  "anton", "bruno", "clemens")
+            for h in res.hosts
+        )
+
+    def test_deterministic_under_seed(self):
+        r1 = make_bed("night", seed=4).run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=500, nr_nodes=5, real_compute=False)
+            )
+        )
+        r2 = make_bed("night", seed=4).run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=500, nr_nodes=5, real_compute=False)
+            )
+        )
+        assert r1.elapsed == pytest.approx(r2.elapsed)
+        assert r1.tasks_per_host == r2.tasks_per_host
+
+
+class TestJacobi:
+    def test_converges_toward_laplace_solution(self):
+        rt = make_bed()
+        res = rt.run_app(
+            lambda: run_jacobi(
+                JacobiConfig(rows=40, cols=20, strips=4, iterations=60)
+            )
+        )
+        grid = res.grid
+        assert grid.shape == (40, 20)
+        # Heat flows from the hot top boundary: strictly decreasing means.
+        means = grid.mean(axis=1)
+        assert means[0] > means[10] > means[-1] >= 0.0
+
+    def test_matches_single_strip_reference(self):
+        """4 distributed strips compute the same grid as 1 strip."""
+        rt = make_bed()
+        res4 = rt.run_app(
+            lambda: run_jacobi(
+                JacobiConfig(rows=24, cols=12, strips=4, iterations=20)
+            )
+        )
+        rt2 = make_bed()
+        res1 = rt2.run_app(
+            lambda: run_jacobi(
+                JacobiConfig(rows=24, cols=12, strips=1, iterations=20)
+            )
+        )
+        np.testing.assert_allclose(res4.grid, res1.grid, rtol=1e-5)
+
+    def test_explicit_placement_honoured(self):
+        rt = make_bed()
+        placement = ["anton", "bruno", "clemens", "dora"]
+        res = rt.run_app(
+            lambda: run_jacobi(
+                JacobiConfig(rows=16, cols=8, strips=4,
+                             iterations=2, placement=placement)
+            )
+        )
+        assert res.hosts == placement
+
+    def test_colocated_faster_than_scattered(self):
+        """Locality: strips on the fast switched segment beat strips
+        scattered across the 10 Mbit hub (nominal mode isolates comms)."""
+        co = make_bed().run_app(
+            lambda: run_jacobi(
+                JacobiConfig(rows=4000, cols=4000, strips=4, iterations=5,
+                             nominal=True,
+                             placement=["milena", "rachel",
+                                        "johanna", "theresa"])
+            )
+        )
+        scattered = make_bed().run_app(
+            lambda: run_jacobi(
+                JacobiConfig(rows=4000, cols=4000, strips=4, iterations=5,
+                             nominal=True,
+                             placement=["milena", "franz",
+                                        "johanna", "ida"])
+            )
+        )
+        assert scattered.elapsed > co.elapsed
+
+    def test_bad_placement_length(self):
+        rt = make_bed()
+        with pytest.raises(ValueError):
+            rt.run_app(
+                lambda: run_jacobi(
+                    JacobiConfig(strips=4, placement=["milena"])
+                )
+            )
+
+
+class TestPi:
+    def test_estimates_pi(self):
+        rt = make_bed()
+        res = rt.run_app(
+            lambda: run_pi(PiConfig(samples=400_000, nr_nodes=6))
+        )
+        assert res.pi == pytest.approx(np.pi, abs=0.02)
+        assert len(res.hosts) == 6
+
+    def test_constraint_restricts_hosts(self):
+        rt = make_bed()
+        constr = JSConstraints([(SysParam.NET_IFACE_MBITS, "==", 10)])
+        res = rt.run_app(
+            lambda: run_pi(
+                PiConfig(samples=50_000, nr_nodes=4, constraints=constr)
+            )
+        )
+        assert all(
+            h in ("dora", "erika", "franz", "greta", "hugo", "ida")
+            for h in res.hosts
+        )
+
+    def test_more_nodes_faster(self):
+        slow = make_bed().run_app(
+            lambda: run_pi(PiConfig(samples=2_000_000, nr_nodes=2))
+        )
+        fast = make_bed().run_app(
+            lambda: run_pi(PiConfig(samples=2_000_000, nr_nodes=7))
+        )
+        assert fast.elapsed < slow.elapsed

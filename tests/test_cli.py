@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_testbed_listing(self, capsys):
+        assert main(["testbed"]) == 0
+        out = capsys.readouterr().out
+        assert "milena" in out
+        assert "Ultra10/440" in out
+        assert "manager" in out
+
+    def test_grid_listing(self, capsys):
+        assert main(["grid"]) == 0
+        out = capsys.readouterr().out
+        assert "vienna" in out
+        assert "budapest" in out
+        assert "domain manager" in out
+
+    def test_matmul_real_verifies(self, capsys):
+        assert main(["matmul", "--n", "64", "--nodes", "3",
+                     "--real", "--profile", "dedicated"]) == 0
+        out = capsys.readouterr().out
+        assert "verified    : True" in out
+
+    def test_matmul_nominal(self, capsys):
+        assert main(["matmul", "--n", "500", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated seconds" in out
+
+    def test_fig5_small_series(self, capsys):
+        assert main(["fig5", "--n", "400", "--nodes", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "night speedup" in out
+        assert "Figure 5" in out
+
+    def test_bad_node_list_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig5", "--nodes", "0,99"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

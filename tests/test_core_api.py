@@ -1,0 +1,244 @@
+"""Tests for the core programming-model surface: JSCodebase, JS statics,
+JSConstants, HostGroup placement, and the paper's API spellings."""
+
+import pytest
+
+from repro.core import JS, JSCodebase, JSConstants, JSObj, JSRegistration
+from repro.errors import CodebaseError
+from repro.sysmon import SysParam
+from repro.varch import Cluster, Node
+from tests.conftest import Counter, Echo  # noqa: F401
+
+
+class TestJSCodebase:
+    def test_selective_loading(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def app():
+            reg = JSRegistration()
+            cluster = Cluster(3)
+            cb = JSCodebase()
+            cb.add(Counter)
+            cb.load(cluster)
+            for host in cluster.hostnames():
+                assert "Counter" in rt.pub_oas[host].loaded_classes
+            # A node outside the cluster did NOT get the class.
+            outside = [
+                h for h in rt.nas.known_hosts()
+                if h not in cluster.hostnames()
+            ]
+            for host in outside:
+                assert "Counter" not in rt.pub_oas[host].loaded_classes
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_memory_accounting(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def app():
+            reg = JSRegistration()
+            machine = rt.world.machine("greta")
+            before = machine.codebase_mem_mb
+            cb = JSCodebase()
+            cb.add(Counter, nbytes=2_000_000)
+            cb.load("greta")
+            assert machine.codebase_mem_mb == pytest.approx(before + 2.0)
+            cb.free()
+            assert machine.codebase_mem_mb == pytest.approx(before)
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_load_takes_transfer_time(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase()
+            cb.add(Counter, nbytes=4_000_000)  # a chunky jar
+            t0 = rt.world.now()
+            cb.load("ida")  # 10 Mbit segment
+            elapsed = rt.world.now() - t0
+            reg.unregister()
+            return elapsed
+
+        assert rt.run_app(app) > 3.0
+
+    def test_archive_registration(self, dedicated_testbed):
+        rt = dedicated_testbed
+        rt.register_archive("../matrix-test/classes.jar", [Counter, Echo])
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase()
+            cb.add("../matrix-test/classes.jar")
+            assert {e.class_name for e in cb.entries} == {"Counter", "Echo"}
+            cb.load("franz")
+            assert "Echo" in rt.pub_oas["franz"].loaded_classes
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_url_entry(self, dedicated_testbed):
+        rt = dedicated_testbed
+        rt.register_archive(
+            "http://www.par.univie.ac.at/JS/test/file.class", ["Counter"]
+        )
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase()
+            cb.add("http://www.par.univie.ac.at/JS/test/file.class")
+            assert cb.entries[0].class_name == "Counter"
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_unknown_entry_rejected(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase()
+            with pytest.raises(CodebaseError):
+                cb.add("no/such/thing.jar")
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_empty_load_rejected(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase()
+            with pytest.raises(CodebaseError):
+                cb.load("milena")
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_use_after_free_rejected(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase()
+            cb.add(Counter)
+            cb.free()
+            with pytest.raises(CodebaseError):
+                cb.add(Echo)
+            with pytest.raises(CodebaseError):
+                cb.load("milena")
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_idempotent_load(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def app():
+            reg = JSRegistration()
+            machine = rt.world.machine("dora")
+            cb = JSCodebase()
+            cb.add(Counter, nbytes=1_000_000)
+            cb.load("dora")
+            once = machine.codebase_mem_mb
+            cb.load("dora")  # second load must not double-charge
+            assert machine.codebase_mem_mb == pytest.approx(once)
+            reg.unregister()
+
+        rt.run_app(app)
+
+
+class TestJSStatics:
+    def test_get_local_node(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            local = JS.get_local_node()
+            assert local == reg.home_node
+            obj = JSObj("Counter", local)
+            assert obj.get_node() == local
+            reg.unregister()
+
+        dedicated_testbed.run_app(app, node="clemens")
+
+    def test_get_sys_param(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            assert JS.get_sys_param("milena", "NODE_NAME") == "milena"
+            assert JS.get_sys_param("milena", SysParam.PEAK_MFLOPS) == 60.0
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_jsconstants_is_sysparam(self):
+        assert JSConstants.IDLE is SysParam.IDLE
+        assert JSConstants.CPU_SYS_LOAD is SysParam.CPU_SYS_LOAD
+
+
+class TestHostGroupPlacement:
+    def test_get_cluster_colocation(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            node = Node("dora")
+            cb = JSCodebase(); cb.add(Counter)
+            cb.load(dedicated_testbed.nas.known_hosts())
+            obj1 = JSObj("Counter", node)
+            group = obj1.get_cluster()
+            assert set(group.hosts) == set(
+                dedicated_testbed.nas.cluster_members("sparcs")
+            )
+            # Map obj2 into the same physical cluster as obj1.
+            obj2 = JSObj("Counter", group)
+            assert obj2.get_node() in group.hosts
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_get_site_and_domain(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            obj = JSObj("Counter", "local")
+            assert len(obj.get_site().hosts) == 13
+            assert len(obj.get_domain().hosts) == 13
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+
+class TestPaperSpellings:
+    """The camelCase aliases the paper's snippets use must exist."""
+
+    def test_varch_aliases(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            c1 = Cluster(2)
+            assert c1.nrNodes() == 2
+            n = c1.getNode(0)
+            assert n.getCluster() is c1
+            s1 = c1.getSite()
+            assert s1.nrClusters() == 1
+            d1 = s1.getDomain()
+            assert d1.nrSites() == 1
+            c1.freeNode(1)
+            assert c1.nrNodes() == 1
+            c1.freeCluster()
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_constraints_alias(self):
+        from repro.constraints import JSConstraints
+
+        constr = JSConstraints()
+        constr.setConstraints(JSConstants.NODE_NAME, "!=", "milena")
+        assert len(constr) == 1
+
+    def test_handle_aliases(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            obj = JSObj("Counter", "local")
+            hdl = obj.ainvoke("incr", [1])
+            while not hdl.isReady():
+                dedicated_testbed.world.kernel.sleep(0.01)
+            assert hdl.getResult() == 1
+            assert obj.getNode() == reg.home_node
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)

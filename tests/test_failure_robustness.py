@@ -1,0 +1,163 @@
+"""Failure robustness: protocols must degrade gracefully, never corrupt
+tables, when nodes die at awkward moments."""
+
+import pytest
+
+from repro.agents.nas import NASConfig
+from repro.cluster import TestbedConfig as TBConfig
+from repro.cluster import vienna_testbed
+from repro.core import JSCodebase, JSObj, JSRegistration
+from repro.errors import (
+    CodebaseError,
+    RemoteInvocationError,
+    RPCTimeoutError,
+)
+from tests.conftest import Counter  # noqa: F401
+
+
+def make_runtime():
+    config = TBConfig(
+        load_profile="dedicated",
+        seed=29,
+        nas=NASConfig(monitor_period=2.0, probe_period=2.0,
+                      failure_timeout=1.0),
+    )
+    config.shell.rpc_timeout = 5.0
+    return vienna_testbed(config)
+
+
+class TestMigrationUnderFailure:
+    def test_migrate_to_dead_target_fails_cleanly(self):
+        rt = make_runtime()
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase(); cb.add(Counter)
+            cb.load(["johanna", "greta"])
+            obj = JSObj("Counter", "johanna")
+            obj.sinvoke("incr", [4])
+            rt.world.fail_host("greta")
+            with pytest.raises(
+                (RemoteInvocationError, RPCTimeoutError)
+            ):
+                obj.migrate("greta")
+            # The object is still intact and usable at the source.
+            assert obj.get_node() == "johanna"
+            assert obj.sinvoke("get") == 4
+            # And it can still migrate elsewhere afterwards.
+            obj.migrate("theresa")
+            assert obj.sinvoke("get") == 4
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_source_dies_during_migration_request(self):
+        rt = make_runtime()
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase(); cb.add(Counter)
+            cb.load(["johanna", "greta"])
+            obj = JSObj("Counter", "johanna")
+            rt.world.fail_host("johanna")
+            with pytest.raises(RPCTimeoutError):
+                obj.migrate("greta")
+            reg.unregister()
+
+        rt.run_app(app)
+
+
+class TestOperationsOnDeadNodes:
+    def test_codebase_load_to_dead_node_times_out(self):
+        rt = make_runtime()
+
+        def app():
+            reg = JSRegistration()
+            rt.world.fail_host("ida")
+            cb = JSCodebase(); cb.add(Counter)
+            with pytest.raises(RPCTimeoutError):
+                cb.load("ida")
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_create_on_dead_node_times_out(self):
+        rt = make_runtime()
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase(); cb.add(Counter); cb.load("franz")
+            rt.world.fail_host("franz")
+            with pytest.raises(RPCTimeoutError):
+                JSObj("Counter", "franz")
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_unregister_with_dead_holder_still_completes(self):
+        rt = make_runtime()
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase(); cb.add(Counter); cb.load("franz")
+            JSObj("Counter", "franz")
+            JSObj("Counter", "local")
+            rt.world.fail_host("franz")
+            reg.unregister()  # best-effort cleanup must not raise
+            assert reg.app.closed
+
+        rt.run_app(app)
+
+    def test_allocation_skips_dead_nodes_after_release(self):
+        rt = make_runtime()
+        rt.world.kernel.run(until=3.0)
+        rt.world.fail_host("rachel")
+        rt.world.kernel.run(until=rt.world.now() + 15.0)
+
+        def app():
+            reg = JSRegistration()
+            from repro.varch import Cluster
+
+            cluster = Cluster(6)
+            assert "rachel" not in cluster.hostnames()
+            reg.unregister()
+
+        rt.run_app(app)
+
+
+class TestFailureDuringInFlightInvocations:
+    def test_pending_async_handles_time_out(self):
+        from tests.conftest import Spinner  # noqa: F401
+
+        rt = make_runtime()
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase(); cb.add(Spinner); cb.load("johanna")
+            obj = JSObj("Spinner", "johanna")
+            handle = obj.ainvoke("spin", [420e6])  # 10 s
+            rt.world.kernel.sleep(1.0)
+            rt.world.fail_host("johanna")
+            with pytest.raises((RPCTimeoutError, RemoteInvocationError)):
+                handle.get_result(timeout=30.0)
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_other_nodes_unaffected_by_one_failure(self):
+        rt = make_runtime()
+
+        def app():
+            reg = JSRegistration()
+            cb = JSCodebase(); cb.add(Counter)
+            cb.load(["johanna", "theresa"])
+            healthy = JSObj("Counter", "theresa")
+            doomed = JSObj("Counter", "johanna")
+            doomed.sinvoke("incr")
+            rt.world.fail_host("johanna")
+            # The healthy object keeps working throughout.
+            for i in range(1, 6):
+                assert healthy.sinvoke("incr") == i
+            reg.unregister()
+
+        rt.run_app(app)

@@ -1,0 +1,365 @@
+"""Integration tests: object lifecycle, invocation modes, classloading."""
+
+import pytest
+
+from repro.core import JSCodebase, JSObj, JSRegistration
+from repro.errors import (
+    ObjectStateError,
+    RegistrationError,
+    RemoteInvocationError,
+)
+from repro.varch import Cluster, Node
+from tests.conftest import Counter, Echo, Spinner  # noqa: F401
+
+
+class TestRegistration:
+    def test_register_unregister(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            assert reg.app_id.startswith("app")
+            assert reg.home_node in dedicated_testbed.nas.known_hosts()
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_double_unregister_rejected(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            reg.unregister()
+            with pytest.raises(RegistrationError):
+                reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_double_register_rejected(self, dedicated_testbed):
+        def app():
+            JSRegistration()
+            with pytest.raises(RegistrationError):
+                JSRegistration()
+
+        dedicated_testbed.run_app(app)
+
+    def test_home_node_selectable(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            assert reg.home_node == "anton"
+            reg.unregister()
+
+        dedicated_testbed.run_app(app, node="anton")
+
+    def test_unregister_frees_objects(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def app():
+            reg = JSRegistration()
+            node = Node("rachel")
+            cb = JSCodebase(); cb.add(Counter); cb.load(node)
+            JSObj("Counter", node)
+            assert len(rt.pub_oas["rachel"].objects) == 1
+            reg.unregister()
+            assert len(rt.pub_oas["rachel"].objects) == 0
+
+        rt.run_app(app)
+
+    def test_objects_outside_registration_rejected(self, dedicated_testbed):
+        from repro.errors import JSError
+
+        def app():
+            with pytest.raises(JSError):
+                JSObj("Counter")
+
+        dedicated_testbed.run_app(app)
+
+
+class TestCreation:
+    def test_create_unmapped_lets_jrs_choose(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            obj = JSObj("Counter")
+            host = obj.get_node()
+            assert host in dedicated_testbed.nas.known_hosts()
+            reg.unregister()
+            return host
+
+        # JRS picks an idle fast machine.
+        assert dedicated_testbed.run_app(app) in ("milena", "rachel")
+
+    def test_create_on_local(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            obj = JSObj("Counter", "local")
+            assert obj.get_node() == reg.home_node
+            reg.unregister()
+
+        dedicated_testbed.run_app(app, node="bruno")
+
+    def test_create_on_node(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            node = Node("greta")
+            cb = JSCodebase(); cb.add(Counter); cb.load(node)
+            obj = JSObj("Counter", node)
+            assert obj.get_node() == "greta"
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_create_on_cluster_picks_member(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            cluster = Cluster(3)
+            cb = JSCodebase(); cb.add(Counter); cb.load(cluster)
+            obj = JSObj("Counter", cluster)
+            assert obj.get_node() in cluster.hostnames()
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_constructor_args(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            obj = JSObj("Counter", "local", args=[41])
+            value = obj.sinvoke("incr")
+            reg.unregister()
+            return value
+
+        assert dedicated_testbed.run_app(app) == 42
+
+    def test_colocate_with_other_object(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            cluster = Cluster(4)
+            cb = JSCodebase(); cb.add(Counter); cb.load(cluster)
+            obj1 = JSObj("Counter", cluster.get_node(2))
+            # Paper: generate obj2 on the same node as obj1.
+            obj2 = JSObj("Counter", obj1.get_node())
+            assert obj1.get_node() == obj2.get_node()
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_classload_gate_enforced(self, dedicated_testbed):
+        from repro.errors import RemoteInvocationError
+
+        def app():
+            reg = JSRegistration()
+            node = Node("ida")  # no codebase loaded there
+            try:
+                with pytest.raises(RemoteInvocationError) as err:
+                    JSObj("Counter", node)
+                from repro.errors import ClassNotLoadedError
+
+                assert isinstance(err.value.cause, ClassNotLoadedError)
+            finally:
+                reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_local_creation_needs_no_codebase(self, dedicated_testbed):
+        # The home node's CLASSPATH has the application's own classes.
+        def app():
+            reg = JSRegistration()
+            obj = JSObj("Counter", "local")
+            assert obj.sinvoke("get") == 0
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+
+class TestInvocation:
+    def _with_remote_counter(self, testbed, body):
+        def app():
+            reg = JSRegistration()
+            node = Node("johanna")
+            cb = JSCodebase(); cb.add(Counter); cb.add(Echo)
+            cb.add(Spinner); cb.load(node)
+            try:
+                return body(reg, node)
+            finally:
+                reg.unregister()
+
+        return testbed.run_app(app)
+
+    def test_sinvoke_remote_state(self, dedicated_testbed):
+        def body(reg, node):
+            obj = JSObj("Counter", node)
+            assert obj.sinvoke("incr", [5]) == 5
+            assert obj.sinvoke("incr", [2]) == 7
+            return obj.sinvoke("get")
+
+        assert self._with_remote_counter(dedicated_testbed, body) == 7
+
+    def test_remote_exception_propagates(self, dedicated_testbed):
+        def body(reg, node):
+            obj = JSObj("Counter", node)
+            with pytest.raises(RemoteInvocationError) as err:
+                obj.sinvoke("boom")
+            assert isinstance(err.value.cause, ValueError)
+
+        self._with_remote_counter(dedicated_testbed, body)
+
+    def test_missing_method(self, dedicated_testbed):
+        def body(reg, node):
+            obj = JSObj("Counter", node)
+            with pytest.raises(RemoteInvocationError):
+                obj.sinvoke("no_such_method")
+
+        self._with_remote_counter(dedicated_testbed, body)
+
+    def test_copy_semantics_remote(self, dedicated_testbed):
+        def body(reg, node):
+            obj = JSObj("Echo", node)
+            arg = {"mutated": False}
+            result = obj.sinvoke("mutate", [arg])
+            return arg, result
+
+        arg, result = self._with_remote_counter(dedicated_testbed, body)
+        assert arg == {"mutated": False}
+        assert result["mutated"] is True
+
+    def test_ainvoke_returns_handle_immediately(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def body(reg, node):
+            obj = JSObj("Spinner", node)
+            t0 = rt.world.now()
+            handle = obj.ainvoke("spin", [42e6])  # 1 s on johanna
+            spawn_cost = rt.world.now() - t0
+            assert not handle.is_ready()
+            result = handle.get_result()
+            elapsed = rt.world.now() - t0
+            return spawn_cost, result, elapsed
+
+        spawn_cost, result, elapsed = self._with_remote_counter(
+            dedicated_testbed, body
+        )
+        assert spawn_cost < 0.01
+        assert result == "done"
+        assert elapsed >= 1.0
+
+    def test_ainvoke_overlaps_invocations(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def app():
+            reg = JSRegistration()
+            cluster = Cluster(3)
+            cb = JSCodebase(); cb.add(Spinner); cb.load(cluster)
+            objs = [JSObj("Spinner", cluster.get_node(i)) for i in range(3)]
+            t0 = rt.world.now()
+            handles = [o.ainvoke("spin", [60e6]) for o in objs]
+            for h in handles:
+                assert h.get_result() == "done"
+            elapsed = rt.world.now() - t0
+            reg.unregister()
+            return elapsed
+
+        # Three 1-second-ish computations on three nodes overlap.
+        assert dedicated_testbed.run_app(app) < 2.5
+
+    def test_is_ready_polling(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def body(reg, node):
+            obj = JSObj("Spinner", node)
+            handle = obj.ainvoke("spin", [42e6])
+            polls = 0
+            while not handle.is_ready():
+                rt.world.kernel.sleep(0.1)
+                polls += 1
+            return polls, handle.get_result()
+
+        polls, result = self._with_remote_counter(dedicated_testbed, body)
+        assert polls >= 5
+        assert result == "done"
+
+    def test_oinvoke_fire_and_forget(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def body(reg, node):
+            obj = JSObj("Counter", node)
+            t0 = rt.world.now()
+            obj.oinvoke("incr", [10])
+            assert rt.world.now() - t0 < 0.01  # did not wait
+            rt.world.kernel.sleep(1.0)  # let it land
+            return obj.sinvoke("get")
+
+        assert self._with_remote_counter(dedicated_testbed, body) == 10
+
+    def test_oinvoke_errors_are_dropped(self, dedicated_testbed):
+        def body(reg, node):
+            obj = JSObj("Counter", node)
+            obj.oinvoke("boom")  # must not raise, ever
+            dedicated_testbed.world.kernel.sleep(1.0)
+            return obj.sinvoke("get")
+
+        assert self._with_remote_counter(dedicated_testbed, body) == 0
+
+    def test_serial_dispatch_per_object(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def body(reg, node):
+            obj = JSObj("Spinner", node)
+            t0 = rt.world.now()
+            h1 = obj.ainvoke("spin", [42e6])
+            h2 = obj.ainvoke("spin", [42e6])
+            h1.get_result(); h2.get_result()
+            return rt.world.now() - t0
+
+        # Same object: the two 1-second invocations serialize (~2 s).
+        assert self._with_remote_counter(dedicated_testbed, body) >= 2.0
+
+    def test_object_ref_passing(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            cluster = Cluster(2)
+            cb = JSCodebase(); cb.add(Echo); cb.load(cluster)
+            obj1 = JSObj("Echo", cluster.get_node(0))
+            obj2 = JSObj("Echo", cluster.get_node(1))
+            # Pass obj2's handle through obj1 and get it back usable.
+            returned = obj1.sinvoke("echo", [obj2])
+            assert returned.obj_id == obj2.obj_id
+            assert returned.sinvoke("echo", ["hi"]) == "hi"
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+
+class TestFree:
+    def test_free_then_invoke_rejected(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            obj = JSObj("Counter", "local")
+            obj.free()
+            with pytest.raises(ObjectStateError):
+                obj.sinvoke("get")
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_free_releases_memory(self, dedicated_testbed):
+        rt = dedicated_testbed
+
+        def app():
+            reg = JSRegistration()
+            node = Node("theresa")
+            cb = JSCodebase(); cb.add(Counter); cb.load(node)
+            machine = rt.world.machine("theresa")
+            before = machine.js_mem_mb
+            obj = JSObj("Counter", node)
+            assert machine.js_mem_mb > before
+            obj.free()
+            assert machine.js_mem_mb == pytest.approx(before)
+            reg.unregister()
+
+        rt.run_app(app)
+
+    def test_double_free_rejected(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            obj = JSObj("Counter", "local")
+            obj.free()
+            with pytest.raises(ObjectStateError):
+                obj.free()
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)

@@ -1,0 +1,144 @@
+"""Tests for the static-methods/variables extension (``JSStatic``)."""
+
+import pytest
+
+from repro.agents.objects import jsclass
+from repro.core import JSCodebase, JSRegistration, JSStatic
+from repro.errors import ObjectStateError, RemoteInvocationError
+from repro.varch import Cluster
+
+
+@jsclass
+class Registry:
+    """Per-node "static" state: a counter and a threshold variable."""
+
+    def __js_static_init__(self) -> None:
+        self.count = 0
+        self.threshold = 5
+
+    def bump(self) -> int:
+        self.count += 1
+        return self.count
+
+    def over_threshold(self) -> bool:
+        return self.count > self.threshold
+
+
+def load_registry(hosts):
+    cb = JSCodebase()
+    cb.add(Registry)
+    cb.load(list(hosts))
+
+
+class TestJSStatic:
+    def test_static_method_invocation(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            load_registry(["johanna"])
+            stats = JSStatic("Registry", "johanna")
+            assert stats.sinvoke("bump") == 1
+            assert stats.sinvoke("bump") == 2
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_segment_is_singleton_per_node(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            load_registry(["johanna"])
+            a = JSStatic("Registry", "johanna")
+            b = JSStatic("Registry", "johanna")
+            a.sinvoke("bump")
+            # b sees a's effect: same static segment.
+            assert b.sinvoke("bump") == 2
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_segments_independent_across_nodes(self, dedicated_testbed):
+        """Like separate JVMs: every node has its own static state."""
+
+        def app():
+            reg = JSRegistration()
+            load_registry(["johanna", "greta"])
+            on_johanna = JSStatic("Registry", "johanna")
+            on_greta = JSStatic("Registry", "greta")
+            on_johanna.sinvoke("bump")
+            on_johanna.sinvoke("bump")
+            assert on_greta.sinvoke("bump") == 1  # untouched by johanna
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_static_variables(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            load_registry(["johanna"])
+            stats = JSStatic("Registry", "johanna")
+            assert stats.get_var("threshold") == 5
+            stats.set_var("threshold", 0)
+            stats.sinvoke("bump")
+            assert stats.sinvoke("over_threshold") is True
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_unknown_variable_raises(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            load_registry(["johanna"])
+            stats = JSStatic("Registry", "johanna")
+            with pytest.raises(RemoteInvocationError):
+                stats.get_var("no_such_var")
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_local_static_segment(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            stats = JSStatic("Registry")  # defaults to the home node
+            assert stats.get_node() == reg.home_node
+            stats.set_var("threshold", 1)
+            assert stats.get_var("threshold") == 1
+            assert stats.sinvoke("bump") == 1
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_classloading_gate_applies(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            # No codebase on ida: the static segment cannot materialize.
+            with pytest.raises(RemoteInvocationError):
+                JSStatic("Registry", "ida")
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_multi_node_target_rejected(self, dedicated_testbed):
+        def app():
+            reg = JSRegistration()
+            cluster = Cluster(3)
+            with pytest.raises(ObjectStateError):
+                JSStatic("Registry", cluster)
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)
+
+    def test_async_and_oneway_modes(self, dedicated_testbed):
+        def app():
+            from repro import context
+
+            kernel = context.require().runtime.world.kernel
+            reg = JSRegistration()
+            load_registry(["johanna"])
+            stats = JSStatic("Registry", "johanna")
+            handle = stats.ainvoke("bump")
+            assert handle.get_result() == 1
+            stats.oinvoke("bump")
+            kernel.sleep(1.0)
+            assert stats.get_var("count") == 2
+            reg.unregister()
+
+        dedicated_testbed.run_app(app)

@@ -1,0 +1,129 @@
+"""Tests for the wall-clock kernel.  Kept fast via time_scale dilation."""
+
+import pytest
+
+from repro.errors import WaitTimeout
+from repro.kernel import ProcessState, RealKernel
+
+
+@pytest.fixture()
+def kernel():
+    # 1 "kernel second" = 5 ms of wall time.
+    return RealKernel(time_scale=0.005)
+
+
+class TestRealProcesses:
+    def test_result(self, kernel):
+        proc = kernel.spawn(lambda: "done")
+        kernel.run(main=proc)
+        assert proc.result() == "done"
+        assert proc.state is ProcessState.FINISHED
+
+    def test_exception(self, kernel):
+        proc = kernel.spawn(lambda: 1 / 0)
+        kernel.run(main=proc)
+        with pytest.raises(ZeroDivisionError):
+            proc.result()
+
+    def test_true_concurrency(self, kernel):
+        """Two workers sleeping 1 kernel-second each overlap in wall time."""
+
+        def worker():
+            kernel.sleep(1.0)
+
+        def main():
+            t0 = kernel.now()
+            procs = [kernel.spawn(worker) for _ in range(4)]
+            for p in procs:
+                p.join()
+            return kernel.now() - t0
+
+        elapsed = kernel.run_callable(main)
+        assert elapsed < 3.0  # would be 4.0 if serialized
+
+    def test_now_advances(self, kernel):
+        def main():
+            t0 = kernel.now()
+            kernel.sleep(1.0)
+            return kernel.now() - t0
+
+        assert kernel.run_callable(main) >= 0.9
+
+    def test_context_inherited(self, kernel):
+        seen = {}
+
+        def child():
+            seen["app"] = kernel.current_process().context.get("app")
+
+        def main():
+            kernel.current_process().context["app"] = "a1"
+            kernel.spawn(child).join()
+
+        kernel.run_callable(main)
+        assert seen["app"] == "a1"
+
+
+class TestRealSync:
+    def test_future_set_from_other_thread(self, kernel):
+        def setter(fut):
+            kernel.sleep(0.5)
+            fut.set_result(99)
+
+        def main():
+            fut = kernel.create_future()
+            kernel.spawn(setter, fut)
+            return fut.result(timeout=50.0)
+
+        assert kernel.run_callable(main) == 99
+
+    def test_future_timeout(self, kernel):
+        def main():
+            fut = kernel.create_future()
+            with pytest.raises(WaitTimeout):
+                fut.result(timeout=0.5)
+
+        kernel.run_callable(main)
+
+    def test_channel_roundtrip(self, kernel):
+        def producer(ch):
+            for i in range(3):
+                ch.put(i)
+
+        def main():
+            ch = kernel.create_channel()
+            kernel.spawn(producer, ch)
+            return [ch.get(timeout=50.0) for _ in range(3)]
+
+        assert kernel.run_callable(main) == [0, 1, 2]
+
+    def test_channel_timeout(self, kernel):
+        def main():
+            ch = kernel.create_channel()
+            with pytest.raises(WaitTimeout):
+                ch.get(timeout=0.2)
+
+        kernel.run_callable(main)
+
+    def test_semaphore_limits_concurrency(self, kernel):
+        import threading
+
+        active = {"count": 0, "max": 0}
+        lock = threading.Lock()
+
+        def worker(sem):
+            with sem:
+                with lock:
+                    active["count"] += 1
+                    active["max"] = max(active["max"], active["count"])
+                kernel.sleep(0.3)
+                with lock:
+                    active["count"] -= 1
+
+        def main():
+            sem = kernel.create_semaphore(2)
+            procs = [kernel.spawn(worker, sem) for _ in range(6)]
+            for p in procs:
+                p.join()
+
+        kernel.run_callable(main)
+        assert active["max"] <= 2

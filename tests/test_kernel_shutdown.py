@@ -1,0 +1,94 @@
+"""Kernel shutdown: blocked process threads must be reaped."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import RealKernel, VirtualKernel
+
+
+class TestVirtualShutdown:
+    def test_reaps_blocked_threads(self):
+        kernel = VirtualKernel()
+
+        def looper():
+            while True:
+                kernel.sleep(1.0)
+
+        procs = [kernel.spawn(looper) for _ in range(5)]
+        kernel.run(until=10.0)
+        threads = [p._thread for p in procs]
+        assert all(t.is_alive() for t in threads)
+        kernel.shutdown()
+        assert all(not t.is_alive() for t in threads)
+
+    def test_idempotent(self):
+        kernel = VirtualKernel()
+        kernel.spawn(lambda: kernel.sleep(100.0))
+        kernel.run(until=1.0)
+        kernel.shutdown()
+        kernel.shutdown()  # no error
+
+    def test_shutdown_does_not_mark_crashes(self):
+        kernel = VirtualKernel(strict=True)
+
+        def looper():
+            while True:
+                kernel.sleep(1.0)
+
+        kernel.spawn(looper)
+        kernel.run(until=5.0)
+        kernel.shutdown()
+        assert kernel.crashes == []
+
+    def test_processes_blocked_on_futures_are_reaped(self):
+        kernel = VirtualKernel()
+
+        def waiter():
+            kernel.create_future().result()  # blocks forever
+
+        proc = kernel.spawn(waiter)
+        kernel.run(until=1.0)
+        assert proc._thread.is_alive()
+        kernel.shutdown()
+        assert not proc._thread.is_alive()
+
+    def test_cannot_shutdown_running_kernel(self):
+        kernel = VirtualKernel()
+
+        def main():
+            kernel.shutdown()
+
+        proc = kernel.spawn(main)
+        kernel.run(main=proc)
+        with pytest.raises(KernelError):
+            proc.result()
+
+
+class TestRealShutdown:
+    def test_loopers_exit_on_next_sleep(self):
+        kernel = RealKernel(time_scale=0.01)
+
+        def looper():
+            while True:
+                kernel.sleep(1.0)
+
+        procs = [kernel.spawn(looper) for _ in range(3)]
+        time.sleep(0.05)
+        kernel.shutdown()
+        time.sleep(0.1)
+        assert all(not p._thread.is_alive() for p in procs)
+
+    def test_shutdown_not_a_crash(self):
+        kernel = RealKernel(time_scale=0.01, strict=True)
+
+        def looper():
+            while True:
+                kernel.sleep(1.0)
+
+        kernel.spawn(looper)
+        time.sleep(0.05)
+        kernel.shutdown()
+        assert kernel.crashes == []

@@ -1,0 +1,421 @@
+"""Unit tests for the deterministic virtual-time kernel."""
+
+import pytest
+
+from repro.errors import KernelError, SimDeadlockError, WaitTimeout
+from repro.kernel import ProcessState, VirtualKernel
+
+
+@pytest.fixture()
+def kernel():
+    return VirtualKernel(strict=True)
+
+
+class TestClockAndSleep:
+    def test_time_starts_at_zero(self, kernel):
+        assert kernel.now() == 0.0
+
+    def test_sleep_advances_virtual_time(self, kernel):
+        seen = {}
+
+        def main():
+            kernel.sleep(5.0)
+            seen["t"] = kernel.now()
+
+        kernel.run_callable(main)
+        assert seen["t"] == pytest.approx(5.0)
+
+    def test_virtual_time_is_free(self, kernel):
+        # A year of virtual sleeping completes instantly in host time.
+        def main():
+            kernel.sleep(365 * 24 * 3600.0)
+
+        kernel.run_callable(main)
+        assert kernel.now() == pytest.approx(365 * 24 * 3600.0)
+
+    def test_negative_sleep_rejected(self, kernel):
+        def main():
+            kernel.sleep(-1.0)
+
+        with pytest.raises(ValueError):
+            kernel.run_callable(main)
+
+    def test_run_until_stops_at_time(self, kernel):
+        ticks = []
+
+        def ticker():
+            while True:
+                kernel.sleep(1.0)
+                ticks.append(kernel.now())
+
+        kernel.spawn(ticker)
+        kernel.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert kernel.now() == pytest.approx(3.5)
+
+    def test_run_until_can_resume(self, kernel):
+        ticks = []
+
+        def ticker():
+            while True:
+                kernel.sleep(1.0)
+                ticks.append(kernel.now())
+
+        kernel.spawn(ticker)
+        kernel.run(until=2.0)
+        kernel.run(until=4.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestProcesses:
+    def test_result_returned(self, kernel):
+        proc = kernel.spawn(lambda: 41 + 1)
+        kernel.run(main=proc)
+        assert proc.result() == 42
+        assert proc.state is ProcessState.FINISHED
+
+    def test_exception_propagates_via_result(self):
+        kernel = VirtualKernel(strict=False)
+        proc = kernel.spawn(lambda: 1 / 0)
+        kernel.run(main=proc)
+        assert proc.state is ProcessState.FAILED
+        with pytest.raises(ZeroDivisionError):
+            proc.result()
+
+    def test_strict_kernel_raises_on_background_crash(self):
+        kernel = VirtualKernel(strict=True)
+
+        def main():
+            kernel.spawn(lambda: 1 / 0, name="crasher")
+            kernel.sleep(1.0)
+
+        proc = kernel.spawn(main)
+        with pytest.raises(KernelError, match="crasher"):
+            kernel.run(main=proc)
+
+    def test_main_crash_not_doubled_in_strict(self):
+        kernel = VirtualKernel(strict=True)
+        proc = kernel.spawn(lambda: 1 / 0)
+        kernel.run(main=proc)  # no KernelError: main's own crash
+        with pytest.raises(ZeroDivisionError):
+            proc.result()
+
+    def test_result_before_finish_is_an_error(self, kernel):
+        proc = kernel.spawn(lambda: kernel.sleep(10))
+        with pytest.raises(KernelError):
+            proc.result()
+
+    def test_join(self, kernel):
+        order = []
+
+        def child():
+            kernel.sleep(2.0)
+            order.append("child")
+
+        def main():
+            proc = kernel.spawn(child)
+            proc.join()
+            order.append("main")
+
+        kernel.run_callable(main)
+        assert order == ["child", "main"]
+
+    def test_join_timeout(self, kernel):
+        def child():
+            kernel.sleep(100.0)
+
+        def main():
+            proc = kernel.spawn(child)
+            with pytest.raises(WaitTimeout):
+                proc.join(timeout=1.0)
+            return kernel.now()
+
+        assert kernel.run_callable(main) == pytest.approx(1.0)
+
+    def test_spawn_delay(self, kernel):
+        times = {}
+
+        def child():
+            times["start"] = kernel.now()
+
+        def main():
+            kernel.spawn(child, delay=3.0).join()
+
+        kernel.run_callable(main)
+        assert times["start"] == pytest.approx(3.0)
+
+    def test_context_inherited_by_reference(self, kernel):
+        seen = {}
+
+        def child():
+            seen["app"] = kernel.current_process().context.get("app")
+
+        def main():
+            kernel.current_process().context["app"] = "app-1"
+            kernel.spawn(child).join()
+
+        kernel.run_callable(main)
+        assert seen["app"] == "app-1"
+
+    def test_current_process_outside_is_none(self, kernel):
+        assert kernel.current_process() is None
+
+    def test_blocking_outside_process_rejected(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.sleep(1.0)
+
+
+class TestDeterminism:
+    def _trace(self):
+        kernel = VirtualKernel()
+        trace = []
+
+        def worker(name, period):
+            for _ in range(5):
+                kernel.sleep(period)
+                trace.append((round(kernel.now(), 6), name))
+
+        for i, period in enumerate([0.3, 0.7, 0.3, 1.1]):
+            kernel.spawn(worker, f"w{i}", period)
+        kernel.run()
+        return trace
+
+    def test_identical_runs(self):
+        assert self._trace() == self._trace()
+
+    def test_fifo_tie_break_at_same_time(self):
+        kernel = VirtualKernel()
+        order = []
+
+        def worker(name):
+            kernel.sleep(1.0)
+            order.append(name)
+
+        for name in ["a", "b", "c"]:
+            kernel.spawn(worker, name)
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestFuture:
+    def test_set_and_result(self, kernel):
+        def main():
+            fut = kernel.create_future()
+            kernel.spawn(lambda: kernel.sleep(1.0) or fut.set_result(7))
+            return fut.result()
+
+        assert kernel.run_callable(main) == 7
+
+    def test_wait_timeout_returns_false(self, kernel):
+        def main():
+            fut = kernel.create_future()
+            return fut.wait(timeout=2.0), kernel.now()
+
+        done, t = kernel.run_callable(main)
+        assert done is False
+        assert t == pytest.approx(2.0)
+
+    def test_result_timeout_raises(self, kernel):
+        def main():
+            fut = kernel.create_future()
+            fut.result(timeout=1.5)
+
+        proc = kernel.spawn(main)
+        kernel.run(main=proc)
+        with pytest.raises(WaitTimeout):
+            proc.result()
+        assert isinstance(proc.finished_future.exception(), WaitTimeout)
+
+    def test_exception_propagates(self, kernel):
+        def main():
+            fut = kernel.create_future()
+            fut.set_exception(ValueError("boom"))
+            with pytest.raises(ValueError):
+                fut.result()
+            return fut.exception()
+
+        assert isinstance(kernel.run_callable(main), ValueError)
+
+    def test_double_set_rejected(self, kernel):
+        def main():
+            fut = kernel.create_future()
+            fut.set_result(1)
+            fut.set_result(2)
+
+        with pytest.raises(KernelError):
+            kernel.run_callable(main)
+
+    def test_wait_after_done_is_instant(self, kernel):
+        def main():
+            fut = kernel.create_future()
+            fut.set_result("x")
+            t0 = kernel.now()
+            assert fut.wait() is True
+            assert kernel.now() == t0
+            return fut.result()
+
+        assert kernel.run_callable(main) == "x"
+
+    def test_multiple_waiters_all_wake(self, kernel):
+        woken = []
+
+        def waiter(fut, name):
+            fut.result()
+            woken.append(name)
+
+        def main():
+            fut = kernel.create_future()
+            procs = [kernel.spawn(waiter, fut, f"w{i}") for i in range(3)]
+            kernel.sleep(1.0)
+            fut.set_result(None)
+            for p in procs:
+                p.join()
+
+        kernel.run_callable(main)
+        assert sorted(woken) == ["w0", "w1", "w2"]
+
+    def test_done_callback(self, kernel):
+        fired = []
+
+        def main():
+            fut = kernel.create_future()
+            fut.add_done_callback(lambda f: fired.append(f.result(0)))
+            fut.set_result(5)
+            kernel.sleep(0.001)
+
+        kernel.run_callable(main)
+        assert fired == [5]
+
+
+class TestChannel:
+    def test_fifo_order(self, kernel):
+        def main():
+            ch = kernel.create_channel()
+            for i in range(5):
+                ch.put(i)
+            return [ch.get() for _ in range(5)]
+
+        assert kernel.run_callable(main) == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self, kernel):
+        def producer(ch):
+            kernel.sleep(3.0)
+            ch.put("item")
+
+        def main():
+            ch = kernel.create_channel()
+            kernel.spawn(producer, ch)
+            value = ch.get()
+            return value, kernel.now()
+
+        value, t = kernel.run_callable(main)
+        assert value == "item"
+        assert t == pytest.approx(3.0)
+
+    def test_get_timeout(self, kernel):
+        def main():
+            ch = kernel.create_channel()
+            with pytest.raises(WaitTimeout):
+                ch.get(timeout=1.0)
+            return kernel.now()
+
+        assert kernel.run_callable(main) == pytest.approx(1.0)
+
+    def test_len(self, kernel):
+        def main():
+            ch = kernel.create_channel()
+            ch.put(1)
+            ch.put(2)
+            assert len(ch) == 2
+            ch.get()
+            assert len(ch) == 1
+
+        kernel.run_callable(main)
+
+    def test_two_consumers_share_items(self, kernel):
+        got = []
+
+        def consumer(ch, name):
+            got.append((name, ch.get()))
+
+        def main():
+            ch = kernel.create_channel()
+            p1 = kernel.spawn(consumer, ch, "c1")
+            p2 = kernel.spawn(consumer, ch, "c2")
+            kernel.sleep(1.0)
+            ch.put("a")
+            ch.put("b")
+            p1.join()
+            p2.join()
+
+        kernel.run_callable(main)
+        assert sorted(item for _, item in got) == ["a", "b"]
+
+
+class TestSemaphore:
+    def test_mutual_exclusion(self, kernel):
+        active = {"count": 0, "max": 0}
+
+        def worker(sem):
+            with sem:
+                active["count"] += 1
+                active["max"] = max(active["max"], active["count"])
+                kernel.sleep(1.0)
+                active["count"] -= 1
+
+        def main():
+            sem = kernel.create_semaphore(2)
+            procs = [kernel.spawn(worker, sem) for _ in range(6)]
+            for p in procs:
+                p.join()
+            return kernel.now()
+
+        # 6 workers, 2 at a time, 1s each -> 3s
+        assert kernel.run_callable(main) == pytest.approx(3.0)
+        assert active["max"] == 2
+
+    def test_acquire_timeout(self, kernel):
+        def main():
+            sem = kernel.create_semaphore(0)
+            with pytest.raises(WaitTimeout):
+                sem.acquire(timeout=2.0)
+            return kernel.now()
+
+        assert kernel.run_callable(main) == pytest.approx(2.0)
+
+
+class TestSchedulerSafety:
+    def test_deadlock_detected(self, kernel):
+        def main():
+            fut = kernel.create_future()
+            fut.result()  # nobody will ever set it
+
+        proc = kernel.spawn(main)
+        with pytest.raises(SimDeadlockError):
+            kernel.run(main=proc)
+
+    def test_cannot_schedule_in_past(self, kernel):
+        def main():
+            kernel.sleep(5.0)
+            kernel.call_at(1.0, lambda: None)
+
+        with pytest.raises(KernelError):
+            kernel.run_callable(main)
+
+    def test_run_not_reentrant(self, kernel):
+        def main():
+            kernel.run()
+
+        with pytest.raises(KernelError):
+            kernel.run_callable(main)
+
+    def test_call_soon_runs_in_order(self, kernel):
+        order = []
+
+        def main():
+            kernel.call_soon(order.append, 1)
+            kernel.call_soon(order.append, 2)
+            kernel.sleep(0.001)
+
+        kernel.run_callable(main)
+        assert order == [1, 2]

@@ -1,0 +1,126 @@
+"""Tests for locality-aware bulk allocation: virtual clusters confined to
+one physical segment, virtual sites to one physical site."""
+
+import pytest
+
+from repro.cluster import grid_testbed
+from repro.core import JSRegistration
+from repro.errors import AllocationError
+from repro.varch import Cluster, Domain, MonitoredPool, Site
+
+
+@pytest.fixture()
+def grid():
+    return grid_testbed(seed=41, load_profile="dedicated")
+
+
+def physical_sites_of(runtime, hosts):
+    return {runtime.nas.site_of(h) for h in hosts}
+
+
+def physical_segments_of(runtime, hosts):
+    return {runtime.world.topology.segment_of(h).name for h in hosts}
+
+
+class TestGroupedAllocation:
+    def test_cluster_confined_to_one_segment(self, grid):
+        def app():
+            reg = JSRegistration()
+            cluster = Cluster(4)
+            segments = physical_segments_of(grid, cluster.hostnames())
+            reg.unregister()
+            return segments
+
+        assert len(grid.run_app(app)) == 1
+
+    def test_oversized_cluster_falls_back_to_mixed(self, grid):
+        def app():
+            reg = JSRegistration()
+            # No single segment has 8 nodes on the grid (max is 6).
+            cluster = Cluster(8)
+            segments = physical_segments_of(grid, cluster.hostnames())
+            count = cluster.nr_nodes()
+            reg.unregister()
+            return count, segments
+
+        count, segments = grid.run_app(app)
+        assert count == 8
+        assert len(segments) > 1  # mixed, but allocation succeeded
+
+    def test_site_clusters_on_distinct_hosts(self, grid):
+        def app():
+            reg = JSRegistration()
+            site = Site([2, 2, 2])
+            hosts = site.hostnames()
+            reg.unregister()
+            return hosts
+
+        hosts = grid.run_app(app)
+        assert len(hosts) == len(set(hosts)) == 6
+
+    def test_domain_sites_confined_to_physical_sites(self, grid):
+        def app():
+            reg = JSRegistration()
+            domain = Domain([[2, 2], [3]])
+            per_site = [
+                physical_sites_of(grid, s.hostnames())
+                for s in domain.sites()
+            ]
+            reg.unregister()
+            return per_site
+
+        per_site = grid.run_app(app)
+        # Each virtual site fits inside one physical site (4 and 3 nodes
+        # both fit: every grid site has >= 4 hosts).
+        assert all(len(sites) == 1 for sites in per_site)
+
+    def test_domain_too_big_for_one_site_still_allocates(self, grid):
+        def app():
+            reg = JSRegistration()
+            # 12 nodes in one virtual site: no physical site has 12.
+            domain = Domain([[6, 6]])
+            count = domain.nr_nodes()
+            sites = physical_sites_of(grid, domain.hostnames())
+            reg.unregister()
+            return count, sites
+
+        count, sites = grid.run_app(app)
+        assert count == 12
+        assert len(sites) >= 2
+
+    def test_grouped_respects_constraints(self, grid):
+        from repro.constraints import JSConstraints
+        from repro.sysmon import SysParam
+
+        constr = JSConstraints([(SysParam.PEAK_MFLOPS, ">=", 20)])
+        groups = grid.pool.acquire_grouped([2, 2], constraints=constr)
+        for group in groups:
+            for host in group:
+                assert grid.world.machine(host).spec.mflops >= 20
+        for host in {h for g in groups for h in g}:
+            grid.pool.release(host)
+
+    def test_grouped_insufficient_raises(self, grid):
+        with pytest.raises(AllocationError):
+            grid.pool.acquire_grouped([20, 20])
+
+    def test_shaped_insufficient_raises(self, grid):
+        with pytest.raises(AllocationError):
+            grid.pool.acquire_shaped([[20], [20]])
+
+    def test_plain_pool_without_site_fn_uses_segments(self):
+        from repro.kernel import VirtualKernel
+        from repro.simnet import SimWorld, build_lan, make_host
+
+        world = SimWorld(VirtualKernel(), seed=2)
+        build_lan(
+            world,
+            fast_hosts=[make_host(f"f{i}", "Ultra10/440", i)
+                        for i in range(4)],
+            slow_hosts=[make_host(f"s{i}", "SS5/70", 10 + i)
+                        for i in range(4)],
+        )
+        pool = MonitoredPool(world)
+        sites = pool.acquire_shaped([[2], [2]])
+        flat = [h for site in sites for cl in site for h in cl]
+        assert len(set(flat)) == 4

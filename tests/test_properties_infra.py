@@ -1,0 +1,194 @@
+"""Property-based tests on infrastructure invariants: topology cost
+model, pool accounting, snapshot aggregation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.kernel import VirtualKernel
+from repro.simnet import Segment, SimWorld, Topology, build_lan, make_host
+from repro.sysmon import SysParam, WeightedSnapshot, average_snapshots
+from repro.varch import MonitoredPool
+
+settings.register_profile(
+    "infra",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("infra")
+
+
+def build_topology():
+    topo = Topology()
+    topo.add_segment(Segment("a", bandwidth_mbits=100, shared=False))
+    topo.add_segment(Segment("b", bandwidth_mbits=10, shared=True))
+    topo.add_segment(Segment("c", bandwidth_mbits=2, shared=True,
+                             latency_s=0.02))
+    topo.connect_segments("a", "b", latency_s=0.0004)
+    topo.connect_segments("b", "c", latency_s=0.001)
+    for host, seg in [("h1", "a"), ("h2", "a"), ("h3", "b"),
+                      ("h4", "b"), ("h5", "c")]:
+        topo.attach_host(host, seg)
+    return topo
+
+
+HOSTS = ["h1", "h2", "h3", "h4", "h5"]
+
+
+class TestTopologyProperties:
+    @given(
+        src=st.sampled_from(HOSTS),
+        dst=st.sampled_from(HOSTS),
+        nbytes=st.integers(0, 10**8),
+    )
+    def test_symmetry(self, src, dst, nbytes):
+        topo = build_topology()
+        assert topo.transfer_time(src, dst, nbytes) == pytest.approx(
+            topo.transfer_time(dst, src, nbytes)
+        )
+
+    @given(
+        src=st.sampled_from(HOSTS),
+        dst=st.sampled_from(HOSTS),
+        small=st.integers(0, 10**7),
+        extra=st.integers(1, 10**7),
+    )
+    def test_monotone_in_bytes(self, src, dst, small, extra):
+        topo = build_topology()
+        assert topo.transfer_time(src, dst, small + extra) > \
+            topo.transfer_time(src, dst, small) - 1e-12
+
+    @given(
+        src=st.sampled_from(HOSTS),
+        dst=st.sampled_from(HOSTS),
+        nbytes=st.integers(0, 10**7),
+    )
+    def test_positive_and_at_least_overhead(self, src, dst, nbytes):
+        topo = build_topology()
+        assert topo.transfer_time(src, dst, nbytes) >= topo.sw_overhead
+
+    @given(
+        src=st.sampled_from(HOSTS),
+        dst=st.sampled_from(HOSTS),
+    )
+    def test_contention_never_speeds_up(self, src, dst):
+        topo = build_topology()
+        base = topo.transfer_time(src, dst, 1_000_000)
+        segs = topo.begin_transfer("h3", "h4")
+        contended = topo.transfer_time(src, dst, 1_000_000)
+        topo.end_transfer(segs)
+        assert contended >= base - 1e-12
+
+
+def make_pool():
+    world = SimWorld(VirtualKernel(), seed=13)
+    build_lan(
+        world,
+        fast_hosts=[make_host(f"f{i}", "Ultra10/440", i)
+                    for i in range(5)],
+        slow_hosts=[make_host(f"s{i}", "SS5/70", 20 + i)
+                    for i in range(5)],
+    )
+    return MonitoredPool(world)
+
+
+pool_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), st.integers(1, 4)),
+        st.tuples(st.just("named"), st.integers(0, 9)),
+        st.tuples(st.just("release"), st.integers(0, 9)),
+    ),
+    max_size=25,
+)
+
+
+class TestPoolProperties:
+    @given(ops=pool_ops)
+    def test_refcount_conservation(self, ops):
+        pool = make_pool()
+        all_hosts = pool.hosts
+        live: dict[str, int] = {}
+        for op, arg in ops:
+            if op == "acquire":
+                try:
+                    for host in pool.acquire(arg):
+                        live[host] = live.get(host, 0) + 1
+                except AllocationError:
+                    pass
+            elif op == "named":
+                host = all_hosts[arg]
+                pool.acquire(name=host)
+                live[host] = live.get(host, 0) + 1
+            else:
+                host = all_hosts[arg]
+                if live.get(host, 0) > 0:
+                    pool.release(host)
+                    live[host] -= 1
+                    if live[host] == 0:
+                        del live[host]
+                else:
+                    with pytest.raises(AllocationError):
+                        pool.release(host)
+            assert pool.allocations == live
+
+    @given(count=st.integers(1, 10))
+    def test_acquire_returns_distinct_alive_hosts(self, count):
+        pool = make_pool()
+        hosts = pool.acquire(count)
+        assert len(hosts) == len(set(hosts)) == count
+        assert set(hosts) <= set(pool.hosts)
+
+    @given(counts=st.lists(st.integers(1, 3), min_size=1, max_size=4))
+    def test_grouped_allocation_disjoint(self, counts):
+        pool = make_pool()
+        if sum(counts) > 10:
+            with pytest.raises(AllocationError):
+                pool.acquire_grouped(counts)
+            return
+        groups = pool.acquire_grouped(counts)
+        flat = [h for g in groups for h in g]
+        assert len(flat) == len(set(flat)) == sum(counts)
+        assert [len(g) for g in groups] == counts
+
+
+class TestAggregationProperties:
+    @given(
+        values=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=1, max_size=10
+        ),
+        weights=st.lists(st.integers(1, 5), min_size=1, max_size=10),
+    )
+    def test_weighted_average_bounded(self, values, weights):
+        n = min(len(values), len(weights))
+        snaps = [
+            WeightedSnapshot({SysParam.IDLE: values[i]}, weights[i])
+            for i in range(n)
+        ]
+        agg = average_snapshots(snaps)
+        assert min(values[:n]) - 1e-9 <= agg.params[SysParam.IDLE] \
+            <= max(values[:n]) + 1e-9
+        assert agg.weight == sum(weights[:n])
+
+    @given(
+        values=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=2, max_size=12
+        )
+    )
+    def test_hierarchical_equals_flat_average(self, values):
+        """Averaging in two stages (cluster -> site) must equal one flat
+        weighted average — the correctness of the paper's cascade."""
+        mid = len(values) // 2
+        left = [WeightedSnapshot({SysParam.IDLE: v}) for v in values[:mid]]
+        right = [WeightedSnapshot({SysParam.IDLE: v}) for v in values[mid:]]
+        stages = [g for g in (left, right) if g]
+        two_stage = average_snapshots(
+            [average_snapshots(group) for group in stages]
+        )
+        flat = average_snapshots(
+            [WeightedSnapshot({SysParam.IDLE: v}) for v in values]
+        )
+        assert two_stage.params[SysParam.IDLE] == pytest.approx(
+            flat.params[SysParam.IDLE]
+        )
+        assert two_stage.weight == flat.weight

@@ -1,0 +1,314 @@
+"""Unit tests for the simulated physical testbed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeFailedError, TransportError
+from repro.kernel import RngStreams, VirtualKernel
+from repro.simnet import (
+    ConstantLoad,
+    HostSpec,
+    Machine,
+    Segment,
+    SimWorld,
+    SpikeLoad,
+    StochasticLoad,
+    Topology,
+    TraceLoad,
+    build_lan,
+    make_host,
+)
+from repro.simnet.host import SUN_MODELS
+
+
+class TestHostSpec:
+    def test_all_six_sun_models_exist(self):
+        assert set(SUN_MODELS) == {
+            "SS4/110", "SS10/40", "SS5/70",
+            "Ultra1/170", "Ultra10/300", "Ultra10/440",
+        }
+
+    def test_make_host(self):
+        host = make_host("milena", "Ultra10/440")
+        assert host.name == "milena"
+        assert host.mflops == 60.0
+        assert host.net_mbits == 100.0
+        assert host.flops == pytest.approx(60e6)
+
+    def test_sparcs_on_10mbit(self):
+        for model in ["SS4/110", "SS10/40", "SS5/70"]:
+            assert make_host("x", model).net_mbits == 10.0
+
+    def test_ultras_faster_than_sparcs(self):
+        slowest_ultra = min(
+            SUN_MODELS[m]["mflops"]
+            for m in SUN_MODELS if m.startswith("Ultra")
+        )
+        fastest_sparc = max(
+            SUN_MODELS[m]["mflops"]
+            for m in SUN_MODELS if m.startswith("SS")
+        )
+        assert slowest_ultra > 2 * fastest_sparc
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            make_host("x", "VAX-11/780")
+
+
+class TestLoadModels:
+    def test_constant(self):
+        model = ConstantLoad(0.25)
+        assert model.load_at(0) == 0.25
+        assert model.load_at(1e6) == 0.25
+
+    def test_constant_bounds(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(1.5)
+
+    def test_stochastic_in_range(self):
+        rng = RngStreams(7).stream("h1")
+        model = StochasticLoad.day(rng)
+        loads = [model.load_at(t) for t in np.arange(0, 2000, 10)]
+        assert all(0.0 <= v <= 0.97 for v in loads)
+
+    def test_stochastic_query_order_independent(self):
+        def sample(order):
+            model = StochasticLoad.day(RngStreams(3).stream("h"))
+            return {t: model.load_at(t) for t in order}
+
+        forward = sample([0, 100, 200, 300])
+        backward = sample([300, 200, 100, 0])
+        assert forward == backward
+
+    def test_day_heavier_than_night(self):
+        rng_d = RngStreams(1).stream("d")
+        rng_n = RngStreams(1).stream("n")
+        day = StochasticLoad.day(rng_d)
+        night = StochasticLoad.night(rng_n)
+        ts = np.arange(0, 5000, 10)
+        mean_day = np.mean([day.load_at(t) for t in ts])
+        mean_night = np.mean([night.load_at(t) for t in ts])
+        assert mean_day > 0.3
+        assert mean_night < 0.1
+
+    def test_piecewise_constant_within_tick(self):
+        model = StochasticLoad.day(RngStreams(0).stream("h"), tick=10.0)
+        assert model.load_at(3.0) == model.load_at(9.9)
+
+    def test_trace_playback(self):
+        model = TraceLoad([0.1, 0.5, 0.9], interval=10.0)
+        assert model.load_at(0) == 0.1
+        assert model.load_at(15) == 0.5
+        assert model.load_at(29.9) == 0.9
+        assert model.load_at(1000) == 0.9  # last sample holds
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            TraceLoad([], interval=1.0)
+        with pytest.raises(ValueError):
+            TraceLoad([1.2], interval=1.0)
+
+    def test_spike(self):
+        model = SpikeLoad(ConstantLoad(0.05), start=100, duration=50,
+                          magnitude=0.8)
+        assert model.load_at(99) == pytest.approx(0.05)
+        assert model.load_at(100) == pytest.approx(0.85)
+        assert model.load_at(149.9) == pytest.approx(0.85)
+        assert model.load_at(150) == pytest.approx(0.05)
+
+
+def two_segment_topology():
+    topo = Topology()
+    topo.add_segment(Segment("fast", bandwidth_mbits=100, shared=False,
+                             latency_s=0.0005))
+    topo.add_segment(Segment("slow", bandwidth_mbits=10, shared=True,
+                             latency_s=0.001))
+    topo.connect_segments("fast", "slow", latency_s=0.0004)
+    topo.attach_host("u1", "fast")
+    topo.attach_host("u2", "fast")
+    topo.attach_host("s1", "slow")
+    topo.attach_host("s2", "slow")
+    return topo
+
+
+class TestTopology:
+    def test_same_host_is_loopback(self):
+        topo = two_segment_topology()
+        t = topo.transfer_time("u1", "u1", 1_000_000)
+        assert t < 0.01
+
+    def test_fast_segment_beats_slow(self):
+        topo = two_segment_topology()
+        fast = topo.transfer_time("u1", "u2", 1_000_000)
+        slow = topo.transfer_time("s1", "s2", 1_000_000)
+        assert slow > 5 * fast
+
+    def test_cross_segment_bottlenecked_by_slow(self):
+        topo = two_segment_topology()
+        cross = topo.transfer_time("u1", "s1", 1_000_000)
+        slow = topo.transfer_time("s1", "s2", 1_000_000)
+        assert cross == pytest.approx(slow, rel=0.05)
+
+    def test_transfer_time_scales_with_bytes(self):
+        topo = two_segment_topology()
+        t1 = topo.transfer_time("u1", "u2", 100_000)
+        t2 = topo.transfer_time("u1", "u2", 200_000)
+        assert t2 > t1
+
+    def test_shared_segment_contention(self):
+        topo = two_segment_topology()
+        base = topo.transfer_time("s1", "s2", 1_000_000)
+        segs = topo.begin_transfer("s1", "s2")
+        contended = topo.transfer_time("s1", "s2", 1_000_000)
+        topo.end_transfer(segs)
+        after = topo.transfer_time("s1", "s2", 1_000_000)
+        assert contended > 1.8 * base
+        assert after == pytest.approx(base)
+
+    def test_switched_segment_no_contention(self):
+        topo = two_segment_topology()
+        base = topo.transfer_time("u1", "u2", 1_000_000)
+        segs = topo.begin_transfer("u1", "u2")
+        contended = topo.transfer_time("u1", "u2", 1_000_000)
+        topo.end_transfer(segs)
+        assert contended == pytest.approx(base)
+
+    def test_unattached_host_rejected(self):
+        topo = two_segment_topology()
+        with pytest.raises(TransportError):
+            topo.transfer_time("u1", "nowhere", 10)
+
+    def test_end_without_begin_rejected(self):
+        topo = two_segment_topology()
+        seg = topo.segment_of("s1")
+        with pytest.raises(TransportError):
+            topo.end_transfer([seg])
+
+
+class TestMachine:
+    def make(self, load=0.0, model="Ultra10/440"):
+        return Machine(spec=make_host("m", model),
+                       load_model=ConstantLoad(load))
+
+    def test_compute_time_basic(self):
+        m = self.make()
+        # 60 MFLOPS, 6e7 flops -> 1 second
+        assert m.compute_time(60e6, 0.0) == pytest.approx(1.0)
+
+    def test_load_slows_compute(self):
+        idle = self.make(0.0)
+        busy = self.make(0.5)
+        assert busy.compute_time(60e6, 0.0) == pytest.approx(
+            2 * idle.compute_time(60e6, 0.0)
+        )
+
+    def test_concurrency_shares_cpu(self):
+        m = self.make()
+        t1 = m.compute_time(60e6, 0.0, concurrency=1)
+        t2 = m.compute_time(60e6, 0.0, concurrency=2)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_zero_flops_instant(self):
+        assert self.make().compute_time(0, 0.0) == 0.0
+
+    def test_failed_machine_rejects_compute(self):
+        m = self.make()
+        m.fail()
+        with pytest.raises(NodeFailedError):
+            m.compute_time(1e6, 0.0)
+        m.restore()
+        assert m.compute_time(60e6, 0.0) > 0
+
+    def test_task_accounting(self):
+        m = self.make()
+        m.begin_task()
+        m.begin_task()
+        assert m.active_tasks == 2
+        m.end_task()
+        m.end_task()
+        with pytest.raises(RuntimeError):
+            m.end_task()
+
+    def test_memory_decreases_with_js_usage(self):
+        m = self.make()
+        before = m.avail_mem_mb(0.0)
+        m.js_mem_mb += 50.0
+        assert m.avail_mem_mb(0.0) == pytest.approx(before - 50.0)
+
+    def test_min_share_under_full_load(self):
+        m = Machine(spec=make_host("m", "Ultra10/440"),
+                    load_model=ConstantLoad(0.969))
+        assert m.effective_flops(0.0) > 0
+
+
+class TestSimWorld:
+    def make_world(self):
+        world = SimWorld(VirtualKernel(strict=True), seed=1)
+        build_lan(
+            world,
+            fast_hosts=[make_host("u1", "Ultra10/440"),
+                        make_host("u2", "Ultra10/300")],
+            slow_hosts=[make_host("s1", "SS4/110")],
+        )
+        return world
+
+    def test_compute_blocks_virtual_time(self):
+        world = self.make_world()
+
+        def main():
+            world.compute("u1", 120e6)  # 2 s on 60 MFLOPS
+            return world.now()
+
+        assert world.kernel.run_callable(main) == pytest.approx(2.0)
+
+    def test_transfer_delay_and_counters(self):
+        world = self.make_world()
+
+        def main():
+            return world.transfer_delay("u1", "s1", 1_000_000)
+
+        delay = world.kernel.run_callable(main)
+        assert delay > 1.0  # ~1 MB over 10 Mbit shared
+        assert world.machine("u1").counters.bytes_sent == 1_000_000
+        assert world.machine("s1").counters.bytes_received == 1_000_000
+
+    def test_contention_released_after_delivery(self):
+        world = self.make_world()
+
+        def main():
+            d1 = world.transfer_delay("u1", "s1", 1_000_000)
+            d2 = world.transfer_delay("u2", "s1", 1_000_000)  # contended
+            world.kernel.sleep(d1 + d2 + 1)
+            d3 = world.transfer_delay("u1", "s1", 1_000_000)
+            return d1, d2, d3
+
+        d1, d2, d3 = world.kernel.run_callable(main)
+        assert d2 > 1.8 * d1
+        assert d3 == pytest.approx(d1, rel=0.01)
+
+    def test_transfer_to_failed_host_raises(self):
+        world = self.make_world()
+        world.fail_host("s1")
+
+        def main():
+            world.transfer_delay("u1", "s1", 10)
+
+        proc = world.kernel.spawn(main)
+        world.kernel.run(main=proc)
+        with pytest.raises(NodeFailedError):
+            proc.result()
+
+    def test_schedule_failure(self):
+        world = self.make_world()
+        world.schedule_failure("s1", at=5.0)
+
+        def main():
+            world.kernel.sleep(10.0)
+            return world.alive_hosts()
+
+        assert world.kernel.run_callable(main) == ["u1", "u2"]
+
+    def test_duplicate_machine_rejected(self):
+        world = self.make_world()
+        with pytest.raises(TransportError):
+            world.add_machine(make_host("u1", "SS5/70"), "hub-10")

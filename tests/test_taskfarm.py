@@ -1,0 +1,113 @@
+"""Tests for the fault-tolerant task farm application."""
+
+import pytest
+
+from repro.apps import FarmConfig, run_farm
+from repro.cluster import TestbedConfig as TBConfig
+from repro.cluster import vienna_testbed
+from repro.constraints import JSConstraints
+from repro.core import JS
+from repro.sysmon import SysParam
+
+
+def make_runtime(seed=31, rpc_timeout=10.0):
+    config = TBConfig(load_profile="dedicated", seed=seed)
+    config.shell.rpc_timeout = rpc_timeout
+    return vienna_testbed(config)
+
+
+def expected_results(n_units):
+    return {i: i * i + 1 for i in range(n_units)}
+
+
+class TestFarmHappyPath:
+    def test_all_units_processed_correctly(self):
+        rt = make_runtime()
+        res = rt.run_app(lambda: run_farm(FarmConfig(n_units=30)))
+        assert res.results == expected_results(30)
+        assert res.dead_workers == []
+        assert res.redispatched == 0
+
+    def test_checkpoints_written(self):
+        rt = make_runtime()
+        res = rt.run_app(
+            lambda: run_farm(
+                FarmConfig(n_units=30, checkpoint_every=10)
+            )
+        )
+        # 3 periodic + 1 final.
+        assert res.checkpoints == 4
+        assert rt.persistent_store.load("farm-checkpoint") is not None
+
+    def test_checkpoint_restorable_by_new_app(self):
+        rt = make_runtime()
+        rt.run_app(lambda: run_farm(FarmConfig(n_units=20)))
+
+        def restorer():
+            from repro.core import JSRegistration
+
+            reg = JSRegistration()
+            collector = JS.load("farm-checkpoint")
+            snapshot = collector.sinvoke("snapshot")
+            reg.unregister()
+            return snapshot
+
+        assert rt.run_app(restorer, node="greta") == expected_results(20)
+
+    def test_constrained_farm(self):
+        rt = make_runtime()
+        constr = JSConstraints([(SysParam.PEAK_MFLOPS, ">=", 40)])
+        res = rt.run_app(
+            lambda: run_farm(
+                FarmConfig(n_units=16, nr_nodes=3, constraints=constr)
+            )
+        )
+        assert all(
+            w in ("milena", "rachel", "johanna", "theresa")
+            for w in res.workers
+        )
+
+
+class TestFarmUnderFailure:
+    def test_survives_worker_death(self):
+        rt = make_runtime()
+        # Kill one of the 4 best nodes mid-run.
+        rt.world.schedule_failure("johanna", at=3.0)
+        res = rt.run_app(
+            lambda: run_farm(
+                FarmConfig(n_units=40, unit_timeout=8.0)
+            )
+        )
+        assert res.results == expected_results(40)
+        assert "johanna" in res.dead_workers
+        assert res.redispatched >= 1
+
+    def test_survives_two_deaths(self):
+        rt = make_runtime()
+        rt.world.schedule_failure("johanna", at=2.0)
+        rt.world.schedule_failure("theresa", at=4.0)
+        res = rt.run_app(
+            lambda: run_farm(
+                FarmConfig(n_units=40, unit_timeout=8.0)
+            )
+        )
+        assert res.results == expected_results(40)
+        assert set(res.dead_workers) == {"johanna", "theresa"}
+
+    def test_all_workers_dead_raises(self):
+        from repro.errors import RPCTimeoutError
+
+        rt = make_runtime()
+        for host in ("milena", "rachel", "johanna", "theresa"):
+            rt.world.schedule_failure(host, at=2.0)
+
+        def app():
+            # Home must survive (the master runs there).
+            return run_farm(
+                FarmConfig(n_units=40, unit_timeout=5.0)
+            )
+
+        proc = rt.spawn_app(app, node="anton")
+        rt.kernel.run(main=proc)
+        with pytest.raises(RPCTimeoutError):
+            proc.result()

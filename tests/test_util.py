@@ -1,0 +1,179 @@
+"""Unit + property tests for the utility layer (serialization with
+nominal sizes, stats, table rendering, id generation)."""
+
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.ids import IdGenerator, fresh_id
+from repro.util.serialization import (
+    ENVELOPE_BYTES,
+    Payload,
+    deep_copy_via_pickle,
+    dumps,
+    flops_of,
+    loads,
+    sizeof,
+    unwrap,
+)
+from repro.util.stats import ewma, mean, percentile, stdev, summarize
+from repro.util.tables import render_table
+
+
+class TestIds:
+    def test_monotonic_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("obj") == "obj-1"
+        assert gen.next("obj") == "obj-2"
+        assert gen.next("app") == "app-1"
+
+    def test_next_int(self):
+        gen = IdGenerator()
+        assert gen.next_int("x") == 1
+        assert gen.next_int("x") == 2
+
+    def test_independent_generators(self):
+        a, b = IdGenerator(), IdGenerator()
+        a.next("k")
+        assert b.next("k") == "k-1"
+
+    def test_fresh_id_has_prefix(self):
+        assert fresh_id("tmp").startswith("tmp-")
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        value = {"a": [1, 2.5, "x"], "b": (None, True)}
+        assert loads(dumps(value)) == value
+
+    def test_deep_copy_is_independent(self):
+        original = {"inner": [1, 2]}
+        copy = deep_copy_via_pickle(original)
+        copy["inner"].append(3)
+        assert original == {"inner": [1, 2]}
+
+    def test_sizeof_plain_value(self):
+        value = b"x" * 1000
+        assert sizeof(value) == len(dumps(value)) + ENVELOPE_BYTES
+
+    def test_sizeof_nominal_payload(self):
+        payload = Payload(data=None, nbytes=5_000_000)
+        assert sizeof(payload) == 5_000_000 + ENVELOPE_BYTES
+
+    def test_sizeof_payload_without_nominal_uses_real(self):
+        payload = Payload(data=b"y" * 500)
+        assert sizeof(payload) >= 500
+
+    def test_sizeof_nested_payload_found(self):
+        # The invocation wire shape: (obj_id, method, [params]).
+        message = ("obj-1", "init", [7, Payload(nbytes=1_000_000)])
+        assert sizeof(message) > 1_000_000
+
+    def test_sizeof_deeply_nested(self):
+        message = [[[Payload(nbytes=300_000)]]]
+        assert sizeof(message) > 300_000
+
+    def test_flops_nested(self):
+        message = ("id", "m", [Payload(flops=5e6), Payload(flops=3e6)])
+        assert flops_of(message) == pytest.approx(8e6)
+
+    def test_unwrap(self):
+        args = (1, Payload(data="inner"), [Payload(data=2)])
+        assert unwrap(args) == (1, "inner", [2])
+
+    def test_payload_is_picklable(self):
+        payload = Payload(data={"k": 1}, nbytes=10, flops=2.0)
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone.data == {"k": 1}
+        assert clone.nbytes == 10
+
+
+class TestSerializationProperties:
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_round_trip_bytes(self, blob):
+        assert loads(dumps(blob)) == blob
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_nominal_size_dominates(self, nbytes):
+        assert sizeof(Payload(nbytes=nbytes)) == nbytes + ENVELOPE_BYTES
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            min_size=1, max_size=8,
+        )
+    )
+    def test_sizeof_superadditive_over_payload_lists(self, sizes):
+        payloads = [Payload(nbytes=s) for s in sizes]
+        assert sizeof(payloads) >= sum(sizes)
+
+    @given(st.binary(min_size=1, max_size=500))
+    def test_sizeof_monotone_in_content(self, blob):
+        assert sizeof(blob + b"xx") >= sizeof(blob)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev(self):
+        assert stdev([5.0]) == 0.0
+        assert stdev([1.0, 3.0]) == pytest.approx(2.0 ** 0.5)
+
+    def test_percentile(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 50) == 50
+        assert percentile(data, 100) == 100
+        with pytest.raises(ValueError):
+            percentile(data, 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.min == 1.0
+        assert summary.max == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_ewma(self):
+        assert ewma(None, 10.0) == 10.0
+        assert ewma(10.0, 20.0, alpha=0.5) == 15.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_mean_bounded_by_extremes(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+           st.floats(0, 100))
+    def test_percentile_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+
+class TestTables:
+    def test_basic_render(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["bb", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "| name | value |" in text
+        assert "2.50" in text
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_number_formatting(self):
+        text = render_table(["v"], [[12345.6], [0.1234], [0.0]])
+        assert "12,346" in text
+        assert "0.1234" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "| a | b |" in text

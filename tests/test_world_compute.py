@@ -1,0 +1,148 @@
+"""Tests for the compute-charging model: load re-sampling during long
+computations and CPU sharing between concurrent tasks."""
+
+import pytest
+
+from repro.kernel import VirtualKernel
+from repro.simnet import (
+    ConstantLoad,
+    SimWorld,
+    SpikeLoad,
+    build_lan,
+    make_host,
+)
+
+
+def world_with(load_model=None):
+    world = SimWorld(VirtualKernel(strict=True), seed=1)
+    build_lan(
+        world,
+        fast_hosts=[make_host("u1", "Ultra10/440", 1)],  # 60 MFLOPS
+        slow_hosts=[make_host("s1", "SS4/110", 2)],
+        load_models={"u1": load_model} if load_model else {},
+    )
+    return world
+
+
+class TestComputeCharging:
+    def test_basic_duration(self):
+        world = world_with()
+
+        def main():
+            return world.compute("u1", 120e6)
+
+        assert world.kernel.run_callable(main) == pytest.approx(2.0)
+
+    def test_spike_mid_compute_slows_then_recovers(self):
+        """A task that starts before a load spike pays for the spike only
+        while it lasts — not for its whole duration."""
+        spike = SpikeLoad(ConstantLoad(0.0), start=5.0, duration=10.0,
+                          magnitude=0.9)
+        world = world_with(spike)
+
+        def main():
+            # 20 s of idle-speed work: 5 s idle, 10 s at 10% speed
+            # (1 s equivalent), then the rest at full speed again.
+            return world.compute("u1", 20 * 60e6)
+
+        elapsed = world.kernel.run_callable(main)
+        # idle: 5 s -> 5 s of work; spike: 10 s -> 1 s of work;
+        # remaining 14 s of work at full speed -> total = 29 s.
+        assert elapsed == pytest.approx(29.0, rel=0.05)
+
+    def test_load_clearing_mid_compute_speeds_up(self):
+        spike = SpikeLoad(ConstantLoad(0.0), start=0.0, duration=10.0,
+                          magnitude=0.9)
+        world = world_with(spike)
+
+        def main():
+            return world.compute("u1", 20 * 60e6)
+
+        elapsed = world.kernel.run_callable(main)
+        # Naive lock-in at start would predict 200 s; with re-sampling:
+        # 10 s at 10% (2 s of work) + 18 s full speed = 28 s.
+        assert elapsed == pytest.approx(28.0, rel=0.05)
+
+    def test_concurrent_tasks_share_cpu(self):
+        world = world_with()
+        done = {}
+
+        def worker(name):
+            world.compute("u1", 60e6)  # 1 s alone
+            done[name] = world.now()
+
+        def main():
+            procs = [world.kernel.spawn(worker, f"w{i}") for i in range(2)]
+            for p in procs:
+                p.join()
+
+        world.kernel.run_callable(main)
+        # Processor sharing is approximated per slice (concurrency is
+        # sampled when a slice starts), so the first finisher may see
+        # less contention — but both land in [1, 2] s and the last one
+        # pays the full sharing cost.
+        times = sorted(done.values())
+        assert 1.0 <= times[0] <= 2.0 + 1e-9
+        assert times[-1] == pytest.approx(2.0, rel=0.1)
+
+    def test_staggered_arrival_approximation(self):
+        """A second task arriving mid-flight slows the remainder of the
+        first (both re-sample concurrency within compute_resample)."""
+        world = world_with()
+        done = {}
+
+        def early():
+            world.compute("u1", 10 * 60e6)
+            done["early"] = world.now()
+
+        def late():
+            world.kernel.sleep(4.0)
+            world.compute("u1", 60e6)
+            done["late"] = world.now()
+
+        def main():
+            p1 = world.kernel.spawn(early)
+            p2 = world.kernel.spawn(late)
+            p1.join(); p2.join()
+
+        world.kernel.run_callable(main)
+        # Early alone would take 10 s; sharing from t=4 pushes it out.
+        assert done["early"] > 11.0
+
+    def test_negative_flops_rejected(self):
+        world = world_with()
+
+        def main():
+            world.compute("u1", -1.0)
+
+        proc = world.kernel.spawn(main)
+        world.kernel.run(main=proc)
+        with pytest.raises(ValueError):
+            proc.result()
+
+    def test_compute_on_failed_host_raises(self):
+        from repro.errors import NodeFailedError
+
+        world = world_with()
+        world.schedule_failure("u1", at=2.0)
+
+        def main():
+            world.compute("u1", 600e6)  # 10 s of work, dies at t=2
+
+        proc = world.kernel.spawn(main)
+        world.kernel.run(main=proc)
+        with pytest.raises(NodeFailedError):
+            proc.result()
+
+    def test_heterogeneous_speed_ratio(self):
+        world = world_with()
+
+        def main():
+            fast = world.compute("u1", 60e6)
+            slow = world.compute("s1", 60e6)
+            return slow / fast
+
+        # 60 vs 5.5 MFLOPS.
+        assert world.kernel.run_callable(main) == pytest.approx(
+            60 / 5.5, rel=0.01
+        )
