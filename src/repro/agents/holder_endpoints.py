@@ -105,6 +105,11 @@ class HolderEndpoints(ObjectHolder):
                 data=(obj_id, entry.class_name, blob, entry.origin),
                 nbytes=wire_bytes(entry.instance, blob),
             )
+            # Figure 3 step 3 *is* a synchronous push: pa1 must know the
+            # object arrived before dropping it to a tombstone, and this
+            # handler runs in its own transport process, so waiting here
+            # cannot stall unrelated dispatch.
+            # symlint: disable=blocking-rpc-in-handler
             self.endpoint.rpc(
                 Addr(dst.host, dst.agent), M.MIGRATE_IN, payload,
                 timeout=self.migration_timeout,

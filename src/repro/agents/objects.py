@@ -11,6 +11,7 @@ location, pending results and an is-executing flag.  We factor that into
 from __future__ import annotations
 
 import inspect
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -168,6 +169,10 @@ class ObjectHolder:
         self.objects: dict[str, ObjectEntry] = {}
         #: obj_id -> forwarding Addr left behind by migration
         self.tombstones: dict[str, Addr] = {}
+        #: guards table membership: the transport runs one process per
+        #: incoming request, which under the wall-clock kernel means real
+        #: OS threads storing/dropping entries concurrently.
+        self._holder_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -201,9 +206,6 @@ class ObjectHolder:
     def _store_entry(
         self, obj_id: str, class_name: str, instance: Any, origin: Addr
     ) -> ObjectEntry:
-        if obj_id in self.objects:
-            raise ObjectStateError(f"object {obj_id} already held here")
-        self.tombstones.pop(obj_id, None)
         entry = ObjectEntry(
             obj_id=obj_id,
             class_name=class_name,
@@ -211,7 +213,11 @@ class ObjectHolder:
             origin=origin,
             mem_mb=instance_mem_mb(instance),
         )
-        self.objects[obj_id] = entry
+        with self._holder_lock:
+            if obj_id in self.objects:
+                raise ObjectStateError(f"object {obj_id} already held here")
+            self.tombstones.pop(obj_id, None)
+            self.objects[obj_id] = entry
         machine = self.world.machine(self.addr.host)
         machine.js_mem_mb += entry.mem_mb
         machine.counters.objects_created += 1
@@ -221,17 +227,18 @@ class ObjectHolder:
     def drop_object(
         self, obj_id: str, forward_to: Addr | None = None
     ) -> ObjectEntry:
-        try:
-            entry = self.objects.pop(obj_id)
-        except KeyError:
-            raise ObjectStateError(
-                f"object {obj_id} is not held at {self.addr}"
-            ) from None
+        with self._holder_lock:
+            try:
+                entry = self.objects.pop(obj_id)
+            except KeyError:
+                raise ObjectStateError(
+                    f"object {obj_id} is not held at {self.addr}"
+                ) from None
+            if forward_to is not None:
+                self.tombstones[obj_id] = forward_to
         machine = self.world.machine(self.addr.host)
         machine.js_mem_mb = max(0.0, machine.js_mem_mb - entry.mem_mb)
         machine.counters.objects_hosted -= 1
-        if forward_to is not None:
-            self.tombstones[obj_id] = forward_to
         return entry
 
     # -- invocation (runs in a per-request transport process) -------------------

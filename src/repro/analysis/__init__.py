@@ -1,0 +1,53 @@
+"""symlint: PySymphony-aware static analysis.
+
+AST-based checkers for the paper invariants the runtime relies on but
+cannot enforce mechanically at run time:
+
+* lock discipline / race detection in the multi-threaded kernel and the
+  holder endpoints (``lock_discipline``);
+* JRS protocol completeness — every message kind handled, no dead kinds,
+  no raw string kinds bypassing :mod:`repro.agents.messages`
+  (``protocol``);
+* migration/serialization safety of remotely instantiable classes
+  (``migration_safety``);
+* no blocking calls inside agent message handlers (``blocking``).
+
+Run it as ``python -m repro lint [paths]`` or through
+:func:`analyze_paths`.
+"""
+
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    Module,
+    Project,
+    Severity,
+)
+from repro.analysis.blocking import BlockingHandlerChecker
+from repro.analysis.lock_discipline import LockDisciplineChecker
+from repro.analysis.migration_safety import MigrationSafetyChecker
+from repro.analysis.protocol import ProtocolChecker
+from repro.analysis.runner import (
+    Report,
+    analyze_paths,
+    default_checkers,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "BlockingHandlerChecker",
+    "Checker",
+    "Finding",
+    "LockDisciplineChecker",
+    "MigrationSafetyChecker",
+    "Module",
+    "Project",
+    "ProtocolChecker",
+    "Report",
+    "Severity",
+    "analyze_paths",
+    "default_checkers",
+    "render_json",
+    "render_text",
+]

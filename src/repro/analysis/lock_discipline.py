@@ -1,0 +1,325 @@
+"""Lock-discipline and deadlock-order analysis.
+
+Per class, builds the map of ``self.*`` attributes touched under a
+``with self._lock:`` block versus outside one, and a lock-acquisition
+order graph across the whole project.
+
+Rules
+-----
+``unguarded-write`` (error)
+    An attribute is read or written under a lock somewhere in the class
+    but written *outside* any lock elsewhere — the classic
+    check-then-act race (paper Section 5.2 runs one thread per request,
+    so holder tables are genuinely shared).
+
+``unlocked-mutation`` (warning)
+    A class that owns a ``threading.Lock``/``RLock`` mutates a container
+    attribute (append/pop/subscript-store/...) outside any lock.  Plain
+    rebinding assignments are not flagged — only mutations that are
+    non-atomic read-modify-write sequences.
+
+``lock-order-cycle`` (error)
+    Two locks are acquired in opposite nesting orders on different code
+    paths: a potential deadlock (detected as a cycle in the
+    acquisition-order graph, via networkx).
+
+Constructor-like methods (``__init__``, ``init_*``) are exempt: the
+object is not yet shared while they run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    Module,
+    Project,
+    Severity,
+    dotted_name,
+    is_init_method,
+    iter_methods,
+    self_attr_name,
+)
+
+LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "Lock",
+    "RLock",
+}
+
+#: container mutations that are read-modify-write, not atomic rebinds
+MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "appendleft", "popleft",
+}
+
+
+@dataclass
+class _Access:
+    attr: str
+    method: str
+    node: ast.AST
+    kind: str  # "write" | "mutate" | "read"
+    guards: frozenset[str]
+
+
+@dataclass
+class _ClassReport:
+    lock_attrs: set[str] = field(default_factory=set)
+    accesses: list[_Access] = field(default_factory=list)
+    #: (outer_lock, inner_lock) -> acquisition site
+    order_edges: dict[tuple[str, str], ast.AST] = field(default_factory=dict)
+
+
+def _lock_name_of(expr: ast.AST) -> str | None:
+    """The lock identity acquired by a ``with`` item, if it looks like
+    one: ``self.x`` / bare name whose name mentions 'lock', or any
+    ``self.x`` (resolved against the class's known lock attrs later)."""
+    name = self_attr_name(expr)
+    if name is not None:
+        return name
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walks one method body tracking the stack of held locks."""
+
+    def __init__(self, report: _ClassReport, method: str) -> None:
+        self.report = report
+        self.method = method
+        self.held: list[str] = []
+
+    def _is_lock(self, name: str) -> bool:
+        return name in self.report.lock_attrs or "lock" in name.lower()
+
+    def _guards(self) -> frozenset[str]:
+        return frozenset(self.held)
+
+    def _record(self, attr: str, node: ast.AST, kind: str) -> None:
+        self.report.accesses.append(
+            _Access(attr, self.method, node, kind, self._guards())
+        )
+
+    # -- lock tracking ------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            name = _lock_name_of(item.context_expr)
+            if name is not None and self._is_lock(name):
+                for outer in self.held:
+                    if outer != name:
+                        self.report.order_edges.setdefault(
+                            (outer, name), item.context_expr
+                        )
+                self.held.append(name)
+                acquired.append(name)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    visit_AsyncWith = visit_With
+
+    # -- attribute accesses ---------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_target(node.target)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = self_attr_name(node.target)
+        if attr is not None:
+            # += on an attribute is a read-modify-write: a mutation.
+            self._record(attr, node, "mutate")
+        else:
+            self._record_target(node.target)
+        self.visit(node.value)
+
+    def _record_target(self, target: ast.AST) -> None:
+        attr = self_attr_name(target)
+        if attr is not None:
+            self._record(attr, target, "write")
+            return
+        if isinstance(target, ast.Subscript):
+            # self.x[k] = v mutates container self.x
+            attr = self_attr_name(target.value)
+            if attr is not None:
+                self._record(attr, target, "mutate")
+            else:
+                self.visit(target.value)
+            self.visit(target.slice)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_target(elt)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+        ):
+            attr = self_attr_name(func.value)
+            if attr is not None:
+                self._record(attr, node, "mutate")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            attr = self_attr_name(node)
+            if attr is not None:
+                self._record(attr, node, "read")
+        self.generic_visit(node)
+
+    # Nested functions/lambdas run later, possibly without the lock held;
+    # analyzing them with the current guard stack would be wrong, and
+    # without it would be noise — skip their bodies.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _collect_lock_attrs(klass: ast.ClassDef) -> set[str]:
+    locks: set[str] = set()
+    for node in ast.walk(klass):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        factory = dotted_name(node.value.func)
+        if factory not in LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = self_attr_name(target)
+            if attr is not None:
+                locks.add(attr)
+    return locks
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    rules = {
+        "unguarded-write": Severity.ERROR,
+        "unlocked-mutation": Severity.WARNING,
+        "lock-order-cycle": Severity.ERROR,
+    }
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(
+        self, module: Module, klass: ast.ClassDef
+    ) -> list[Finding]:
+        report = _ClassReport(lock_attrs=_collect_lock_attrs(klass))
+        for method in iter_methods(klass):
+            scanner = _MethodScanner(report, method.name)
+            for stmt in method.body:
+                scanner.visit(stmt)
+        findings = list(self._discipline_findings(module, klass, report))
+        findings.extend(self._order_findings(module, klass, report))
+        return findings
+
+    # -- unguarded-write / unlocked-mutation --------------------------------
+
+    def _discipline_findings(
+        self, module: Module, klass: ast.ClassDef, report: _ClassReport
+    ):
+        guarded_attrs = {
+            a.attr for a in report.accesses
+            if a.guards and a.attr not in report.lock_attrs
+        }
+        flagged: set[tuple[str, int]] = set()
+        for access in report.accesses:
+            if access.kind == "read" or access.guards:
+                continue
+            if is_init_method(access.method):
+                continue
+            if access.attr in report.lock_attrs:
+                continue
+            line = getattr(access.node, "lineno", 0)
+            if access.attr in guarded_attrs:
+                if (access.attr, line) in flagged:
+                    continue
+                flagged.add((access.attr, line))
+                locks = sorted(
+                    lock
+                    for a in report.accesses
+                    for lock in a.guards
+                    if a.attr == access.attr
+                )
+                yield self.finding(
+                    "unguarded-write",
+                    module.path,
+                    access.node,
+                    f"attribute '{access.attr}' is accessed under "
+                    f"lock(s) {', '.join(locks)} elsewhere in "
+                    f"{klass.name} but written here without holding a "
+                    f"lock (method {access.method})",
+                    symbol=f"{klass.name}.{access.attr}",
+                )
+            elif access.kind == "mutate" and report.lock_attrs:
+                yield self.finding(
+                    "unlocked-mutation",
+                    module.path,
+                    access.node,
+                    f"{klass.name} owns lock(s) "
+                    f"{', '.join(sorted(report.lock_attrs))} but mutates "
+                    f"container attribute '{access.attr}' outside any "
+                    f"lock (method {access.method}); read-modify-write "
+                    "is not atomic under the wall-clock kernel",
+                    symbol=f"{klass.name}.{access.attr}",
+                )
+
+    # -- lock-order-cycle ----------------------------------------------------
+
+    def _order_findings(
+        self, module: Module, klass: ast.ClassDef, report: _ClassReport
+    ):
+        if not report.order_edges:
+            return
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for (outer, inner), site in report.order_edges.items():
+            graph.add_edge(outer, inner, site=site)
+        for cycle in nx.simple_cycles(graph):
+            if len(cycle) < 2:
+                continue
+            order = " -> ".join(cycle + [cycle[0]])
+            pairs = list(zip(cycle, cycle[1:] + [cycle[0]]))
+            sites = ", ".join(
+                f"{a}->{b} at line "
+                f"{getattr(report.order_edges[(a, b)], 'lineno', '?')}"
+                for a, b in pairs
+                if (a, b) in report.order_edges
+            )
+            first_site = report.order_edges[pairs[0]]
+            yield self.finding(
+                "lock-order-cycle",
+                module.path,
+                first_site,
+                f"locks in {klass.name} are acquired in conflicting "
+                f"orders ({order}): potential deadlock ({sites})",
+                symbol=f"{klass.name}:{'/'.join(sorted(set(cycle)))}",
+            )

@@ -1,0 +1,200 @@
+"""JRS protocol-completeness analysis.
+
+Cross-references every message-kind constant defined in a ``messages.py``
+module (``NAME = "NAME"`` at module level) against the project's dispatch
+sites: ``endpoint.register(M.KIND, handler)`` registrations and
+``rpc``/``rpc_async``/``send_oneway``/``send`` transmissions.
+
+Rules
+-----
+``unhandled-kind`` (error)
+    A kind is sent somewhere but no endpoint in the analyzed project
+    registers a handler for it — the receiver would raise
+    ``TransportError: no handler`` at run time (reported at the first
+    send site).
+
+``dead-kind`` (warning)
+    A kind is declared in the messages module but never sent: dead
+    protocol surface (reported at the declaration).
+
+``raw-kind-literal`` (error)
+    A dispatch site spells a known kind as a raw string literal instead
+    of the constant, silently decoupling it from the declaration it
+    shadows.  Literals that match no declared kind (application-level
+    ad-hoc kinds) are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    Module,
+    Project,
+    Severity,
+)
+
+SEND_FUNCS = {"rpc", "rpc_async", "send_oneway", "send"}
+REGISTER_FUNCS = {"register"}
+
+
+@dataclass
+class _Site:
+    module: Module
+    node: ast.AST
+
+
+@dataclass
+class _Usage:
+    #: kind name -> declaration (module, assign node)
+    declared: dict[str, _Site] = field(default_factory=dict)
+    values: dict[str, str] = field(default_factory=dict)  # value -> name
+    sent: dict[str, _Site] = field(default_factory=dict)
+    handled: dict[str, _Site] = field(default_factory=dict)
+
+
+def _messages_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to a ``messages`` module by imports."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "messages":
+                    aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.endswith(".messages") or \
+                        alias.name == "messages":
+                    if alias.asname:
+                        aliases.add(alias.asname)
+                    elif alias.name == "messages":
+                        aliases.add("messages")
+    return aliases
+
+
+def _declared_kinds(module: Module) -> dict[str, tuple[str, ast.AST]]:
+    """Module-level ``NAME = "VALUE"`` string constants, uppercase only."""
+    kinds: dict[str, tuple[str, ast.AST]] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or not target.id.isupper():
+            continue
+        if isinstance(node.value, ast.Constant) and \
+                isinstance(node.value.value, str):
+            kinds[target.id] = (node.value.value, node)
+    return kinds
+
+
+class ProtocolChecker(Checker):
+    name = "protocol"
+    rules = {
+        "unhandled-kind": Severity.ERROR,
+        "dead-kind": Severity.WARNING,
+        "raw-kind-literal": Severity.ERROR,
+    }
+
+    def check(self, project: Project) -> list[Finding]:
+        usage = _Usage()
+        message_modules = project.by_basename("messages.py")
+        for module in message_modules:
+            for name, (value, node) in _declared_kinds(module).items():
+                usage.declared.setdefault(name, _Site(module, node))
+                usage.values.setdefault(value, name)
+        if not usage.declared:
+            return []
+
+        findings: list[Finding] = []
+        for module in project.modules:
+            findings.extend(self._scan_dispatch(module, usage))
+
+        for name, site in usage.declared.items():
+            if name in usage.sent:
+                continue
+            finding = self.finding(
+                "dead-kind",
+                site.module.path,
+                site.node,
+                f"message kind {name} is declared but never sent "
+                "anywhere in the analyzed code: dead protocol surface "
+                "(or the sender was not included in the lint paths)",
+                symbol=name,
+            )
+            findings.append(finding)
+
+        for name, site in usage.sent.items():
+            if name in usage.handled:
+                continue
+            findings.append(
+                self.finding(
+                    "unhandled-kind",
+                    site.module.path,
+                    site.node,
+                    f"message kind {name} is sent here but no endpoint "
+                    "in the analyzed code registers a handler for it; "
+                    "the receiving agent would raise 'no handler for "
+                    f"message kind {name!r}' at run time",
+                    symbol=name,
+                )
+            )
+        return findings
+
+    def _scan_dispatch(self, module: Module, usage: _Usage):
+        aliases = _messages_aliases(module.tree)
+        is_messages_module = module.path.endswith("messages.py")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in SEND_FUNCS:
+                bucket = usage.sent
+            elif func.attr in REGISTER_FUNCS:
+                bucket = usage.handled
+            else:
+                continue
+            args = list(node.args) + [
+                kw.value for kw in node.keywords if kw.arg == "kind"
+            ]
+            for arg in args:
+                name = self._constant_ref(arg, aliases, usage)
+                if name is not None:
+                    bucket.setdefault(name, _Site(module, arg))
+                    continue
+                if (
+                    not is_messages_module
+                    and isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value in usage.values
+                ):
+                    kind = usage.values[arg.value]
+                    bucket.setdefault(kind, _Site(module, arg))
+                    yield self.finding(
+                        "raw-kind-literal",
+                        module.path,
+                        arg,
+                        f"raw string {arg.value!r} used as a message "
+                        f"kind; use the {kind} constant from the "
+                        "messages module so the protocol checker can "
+                        "track it",
+                        symbol=kind,
+                    )
+
+    @staticmethod
+    def _constant_ref(
+        node: ast.AST, aliases: set[str], usage: _Usage
+    ) -> str | None:
+        """``M.KIND`` / ``messages.KIND`` -> "KIND" when KIND is known."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in aliases
+            and node.attr in usage.declared
+        ):
+            return node.attr
+        return None

@@ -1,0 +1,153 @@
+"""File collection, checker orchestration and report rendering."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.base import Checker, Finding, Module, Project, Severity
+from repro.analysis.blocking import BlockingHandlerChecker
+from repro.analysis.lock_discipline import LockDisciplineChecker
+from repro.analysis.migration_safety import MigrationSafetyChecker
+from repro.analysis.protocol import ProtocolChecker
+
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def default_checkers() -> list[Checker]:
+    return [
+        LockDisciplineChecker(),
+        ProtocolChecker(),
+        MigrationSafetyChecker(),
+        BlockingHandlerChecker(),
+    ]
+
+
+def known_rules() -> dict[str, Severity]:
+    rules: dict[str, Severity] = {"parse-error": Severity.ERROR}
+    for checker in default_checkers():
+        rules.update(checker.rules)
+    return rules
+
+
+@dataclass
+class Report:
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "files": self.files,
+                "suppressed": self.suppressed,
+                "error": self.count(Severity.ERROR),
+                "warning": self.count(Severity.WARNING),
+                "info": self.count(Severity.INFO),
+            },
+        }
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in SKIP_DIRS)
+            files.extend(
+                os.path.join(root, n) for n in sorted(names)
+                if n.endswith(".py")
+            )
+    # de-duplicate while preserving order
+    seen: set[str] = set()
+    unique = []
+    for f in files:
+        norm = os.path.normpath(f)
+        if norm not in seen:
+            seen.add(norm)
+            unique.append(norm)
+    return unique
+
+
+def load_project(paths: list[str]) -> tuple[Project, list[Finding]]:
+    modules: list[Module] = []
+    parse_failures: list[Finding] = []
+    for path in collect_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            modules.append(Module.parse(path, source))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            lineno = getattr(exc, "lineno", 0) or 0
+            parse_failures.append(
+                Finding(
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=lineno,
+                    col=0,
+                    message=f"cannot analyze file: {exc}",
+                )
+            )
+    return Project(modules), parse_failures
+
+
+def analyze_paths(
+    paths: list[str],
+    rules: set[str] | None = None,
+    checkers: list[Checker] | None = None,
+) -> Report:
+    """Run the analysis over ``paths`` (files or directories).
+
+    ``rules`` restricts the report to the given rule ids; suppression
+    pragmas in the source are always honored.
+    """
+    project, findings = load_project(paths)
+    report = Report(files=len(project.modules))
+    by_path = {m.path: m for m in project.modules}
+    for checker in checkers if checkers is not None else default_checkers():
+        findings.extend(checker.check(project))
+    for finding in findings:
+        if rules is not None and finding.rule not in rules:
+            continue
+        module = by_path.get(finding.path)
+        if module is not None and \
+                module.is_suppressed(finding.rule, finding.line):
+            report.suppressed += 1
+            continue
+        report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def render_text(report: Report) -> str:
+    lines = []
+    for f in report.findings:
+        symbol = f" [{f.symbol}]" if f.symbol else ""
+        lines.append(
+            f"{f.path}:{f.line}:{f.col}: {f.severity}: "
+            f"{f.rule}: {f.message}{symbol}"
+        )
+    lines.append(
+        f"symlint: {report.files} files, "
+        f"{report.count(Severity.ERROR)} errors, "
+        f"{report.count(Severity.WARNING)} warnings"
+        + (f", {report.suppressed} suppressed" if report.suppressed else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(report.to_dict(), indent=2)

@@ -4,6 +4,7 @@
     python -m repro matmul --n 128 --nodes 4 --real
     python -m repro testbed                   # show the simulated cluster
     python -m repro grid                      # show the wide-area grid
+    python -m repro lint src/repro            # symlint static analysis
 """
 
 from __future__ import annotations
@@ -142,6 +143,45 @@ def cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis import analyze_paths, render_json, render_text
+    from repro.analysis.runner import known_rules
+
+    if args.list_rules:
+        for rule, severity in sorted(known_rules().items()):
+            print(f"{rule:28s} {severity}")
+        return 0
+    paths = args.paths
+    if not paths:
+        # Default to the installed package: lint ourselves.
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        # A typo'd path must not silently gate nothing (e.g. in CI).
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    rules = None
+    if args.rules:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = rules - set(known_rules())
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    report = analyze_paths(paths, rules=rules)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    if report.errors:
+        return 1
+    if args.strict and report.findings:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +213,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_grid = sub.add_parser("grid", help="describe the wide-area grid")
     p_grid.set_defaults(fn=cmd_grid)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run symlint, the PySymphony-aware static analyzer",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the repro package itself)",
+    )
+    p_lint.add_argument("--format", default="text",
+                        choices=["text", "json"])
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to report")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print every rule id and severity, then exit")
+    p_lint.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -177,7 +177,10 @@ class RealKernel(Kernel):
         self._t0 = _time.monotonic()
         self._next_pid = 1
         self._shutting_down = False
-        self._pid_lock = threading.Lock()
+        #: guards pid allocation and the shared bookkeeping tables below;
+        #: spawn()/_register_thread()/_note_crash() run on arbitrary
+        #: worker threads (call_soon spawns from inside processes).
+        self._lock = threading.Lock()
         self._by_thread: dict[int, RealProcess] = {}
         self.crashes: list[tuple[RealProcess, BaseException]] = []
         self.processes: list[RealProcess] = []
@@ -199,18 +202,20 @@ class RealKernel(Kernel):
         if context is None:
             parent = self.current_process()
             context = parent.context if parent is not None else {}
-        with self._pid_lock:
+        with self._lock:
             pid = self._next_pid
             self._next_pid += 1
         proc = RealProcess(
             self, pid, name or f"proc-{pid}", fn, tuple(args), context, delay
         )
-        self.processes.append(proc)
+        with self._lock:
+            self.processes.append(proc)
         proc._thread.start()
         return proc
 
     def _register_thread(self, proc: RealProcess) -> None:
-        self._by_thread[threading.get_ident()] = proc
+        with self._lock:
+            self._by_thread[threading.get_ident()] = proc
 
     def sleep(self, duration: float) -> None:
         if duration < 0:
@@ -229,7 +234,8 @@ class RealKernel(Kernel):
         return self._by_thread.get(threading.get_ident())
 
     def _note_crash(self, proc: RealProcess, exc: BaseException) -> None:
-        self.crashes.append((proc, exc))
+        with self._lock:
+            self.crashes.append((proc, exc))
 
     def create_future(self) -> RealFuture:
         return RealFuture(self)
@@ -259,7 +265,9 @@ class RealKernel(Kernel):
             if remaining > 0:
                 _time.sleep(remaining * self.time_scale)
         if self.strict:
-            background = [(p, e) for p, e in self.crashes if p is not main]
+            with self._lock:
+                crashes = list(self.crashes)
+            background = [(p, e) for p, e in crashes if p is not main]
             if background:
                 proc, exc = background[0]
                 raise KernelError(
@@ -272,7 +280,9 @@ class RealKernel(Kernel):
         parked, not spinning).  Idempotent."""
         self._shutting_down = True
         deadline = _time.monotonic() + 2.0
-        for proc in self.processes:
+        with self._lock:
+            processes = list(self.processes)
+        for proc in processes:
             remaining = deadline - _time.monotonic()
             if remaining <= 0:
                 break

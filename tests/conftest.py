@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.agents.objects import ClassRegistry, js_compute, jsclass
+from repro.agents.objects import js_compute, jsclass
 from repro.cluster import TestbedConfig, vienna_testbed
 from repro.kernel.virtual import shutdown_all_kernels
 

@@ -1,0 +1,9 @@
+"""Fixture protocol vocabulary for the symlint protocol checker.
+
+Never imported — parsed only by the symlint tests.
+"""
+
+PING = "PING"
+WORK = "WORK"
+LOST = "LOST"        # sent by seeded_protocol but handled nowhere
+RETIRED = "RETIRED"  # declared but never sent  <<DEAD>>

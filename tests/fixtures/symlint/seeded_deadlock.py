@@ -1,0 +1,23 @@
+"""Fixture: two locks acquired in opposite orders (deadlock cycle).
+
+Never imported — parsed only by the symlint tests.
+"""
+
+import threading
+
+
+class TwoAccounts:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.balance = 0
+
+    def transfer_ab(self):
+        with self._lock_a:
+            with self._lock_b:  # <<ORDER-AB>>
+                self.balance += 1
+
+    def transfer_ba(self):
+        with self._lock_b:
+            with self._lock_a:  # <<ORDER-BA>>
+                self.balance -= 1

@@ -1,0 +1,29 @@
+"""Fixture: seeded protocol-completeness violations.
+
+Never imported — parsed only by the symlint tests.
+"""
+
+from tests.fixtures.symlint import messages as M
+
+
+class FixtureAgent:
+    def __init__(self, endpoint, peer):
+        self.endpoint = endpoint
+        self.peer = peer
+        endpoint.register(M.PING, self._h_ping)
+        endpoint.register(M.WORK, self._h_work)
+
+    def _h_ping(self, msg):
+        return "pong"
+
+    def _h_work(self, msg):
+        return msg.payload
+
+    def probe(self):
+        return self.endpoint.rpc(self.peer, M.PING, None)
+
+    def send_lost(self):
+        self.endpoint.send_oneway(self.peer, M.LOST, None)  # <<LOST>>
+
+    def send_raw(self):
+        return self.endpoint.rpc(self.peer, "WORK", {"x": 1})  # <<RAW>>

@@ -1,0 +1,23 @@
+"""Fixture: a seeded unguarded-write race for the lock-discipline pass.
+
+Never imported — parsed only by the symlint tests.
+"""
+
+import threading
+
+
+class RacyCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.log = []
+
+    def guarded_increment(self):
+        with self._lock:
+            self.count += 1
+
+    def racy_increment(self):
+        self.count += 1  # <<RACE>>
+
+    def racy_log(self):
+        self.log.append("tick")  # <<MUTATION>>

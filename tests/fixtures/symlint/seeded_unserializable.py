@@ -1,0 +1,20 @@
+"""Fixture: a remotely instantiable class with unserializable state.
+
+Never imported — parsed only by the symlint tests.
+"""
+
+import threading
+
+from repro.agents.objects import jsclass
+
+
+@jsclass
+class LeakyWorker:
+    def __init__(self):
+        self.data = []
+        self._guard = threading.Lock()  # <<LOCK>>
+        self.stream = (i * i for i in range(10))  # <<GEN>>
+
+    def work(self):
+        with self._guard:
+            self.data.append(1)

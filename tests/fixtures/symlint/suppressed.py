@@ -1,0 +1,20 @@
+"""Fixture: the seeded race silenced by a justified suppression pragma.
+
+Never imported — parsed only by the symlint tests.
+"""
+
+import threading
+
+
+class QuietCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def guarded_increment(self):
+        with self._lock:
+            self.count += 1
+
+    def racy_increment(self):
+        # justification: benchmark-only helper, never shared across threads
+        self.count += 1  # symlint: disable=unguarded-write

@@ -8,7 +8,6 @@ from repro.cluster import TestbedConfig as TBConfig
 from repro.cluster import vienna_testbed
 from repro.core import JSCodebase, JSObj, JSRegistration
 from repro.errors import (
-    CodebaseError,
     RemoteInvocationError,
     RPCTimeoutError,
 )

@@ -14,7 +14,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.errors import ArchitectureError
 from repro.kernel import VirtualKernel
-from repro.simnet import ConstantLoad, SimWorld, build_lan, make_host
+from repro.simnet import SimWorld, build_lan, make_host
 from repro.varch import Cluster, MonitoredPool, Node
 
 settings.register_profile(

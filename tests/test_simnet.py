@@ -7,7 +7,6 @@ from repro.errors import NodeFailedError, TransportError
 from repro.kernel import RngStreams, VirtualKernel
 from repro.simnet import (
     ConstantLoad,
-    HostSpec,
     Machine,
     Segment,
     SimWorld,
