@@ -12,10 +12,12 @@ that matter for the reproduction — simulated seconds — are attached to
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.apps.matmul import MatmulConfig, run_matmul, sequential_matmul_time
 from repro.cluster import TestbedConfig, vienna_testbed
+from repro.obs import Tracer, set_tracer
 from repro.util.tables import render_table
 
 #: node counts swept for Figure 5 (the paper sweeps 1..13)
@@ -24,10 +26,33 @@ FIG5_NODE_COUNTS = [1, 2, 4, 6, 8, 10, 11, 12, 13]
 #: the scan, we use a spread around N=1000)
 FIG5_SIZES = [600, 1000, 1500, 2000]
 
+#: set REPRO_BENCH_METRICS=1 to run every benchmark testbed under a
+#: Tracer and attach its metrics snapshot to ``benchmark.extra_info``.
+METRICS_ENV = "REPRO_BENCH_METRICS"
+
+
+def metrics_enabled() -> bool:
+    return os.environ.get(METRICS_ENV, "") not in ("", "0")
+
 
 def fresh_testbed(profile: str, seed: int = 1, **config_kwargs):
+    if metrics_enabled():
+        # Install a fresh ambient tracer so this testbed's world (and
+        # everything on it) records; retrieve it via runtime.world.tracer.
+        set_tracer(Tracer())
     config = TestbedConfig(load_profile=profile, seed=seed, **config_kwargs)
     return vienna_testbed(config)
+
+
+def attach_metrics(benchmark, runtime) -> None:
+    """Put the runtime's metrics snapshot into ``benchmark.extra_info``
+    (no-op unless REPRO_BENCH_METRICS is set)."""
+    tracer = runtime.world.tracer
+    if benchmark is None or not tracer.enabled:
+        return
+    snapshot = tracer.metrics.snapshot()
+    benchmark.extra_info["metrics_counters"] = snapshot["counters"]
+    benchmark.extra_info["metrics_histograms"] = snapshot["histograms"]
 
 
 @dataclass

@@ -7,7 +7,7 @@ invocation overlapping useful work."""
 
 import pytest
 
-from harness import fresh_testbed
+from harness import attach_metrics, fresh_testbed
 from repro.core import JSCodebase, JSObj, JSRegistration
 from repro.agents.objects import jsclass
 from repro.util.serialization import Payload
@@ -56,7 +56,7 @@ def measure_modes(target_host: str, calls: int = 20):
         reg.unregister()
 
     runtime.run_app(app, node="milena")
-    return timings
+    return timings, runtime
 
 
 @pytest.mark.parametrize("segment,host", [
@@ -67,7 +67,9 @@ def test_invocation_modes(benchmark, segment, host):
     result = {}
 
     def run():
-        result.update(measure_modes(host))
+        timings, runtime = measure_modes(host)
+        result.update(timings)
+        attach_metrics(benchmark, runtime)
         return result
 
     benchmark.pedantic(run, rounds=1, iterations=1)

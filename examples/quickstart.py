@@ -79,6 +79,12 @@ def app() -> None:
         f"peak={node.get_sys_param(JSConstants.PEAK_MFLOPS)} MFLOPS"
     )
 
+    # 6b. Explicit migration (Section 4.4, Figure 3): move the object to
+    #     another node of the cluster; invocations keep working.
+    greeter.migrate(cluster.get_node(1))
+    print(f"object migrated to: {greeter.get_node()}")
+    print(greeter.sinvoke("hello", ["migrated world"]))
+
     # 7. Free objects and unregister so JRS can clean up (Section 4.1).
     from repro import context
 

@@ -43,6 +43,7 @@ from repro.core import (
 )
 from repro.errors import JSError
 from repro.kernel import RealKernel, VirtualKernel
+from repro.obs import Tracer, current_tracer, tracing
 from repro.rmi import ResultHandle
 from repro.simnet import SimWorld
 from repro.sysmon import SysParam
@@ -74,6 +75,9 @@ __all__ = [
     "ResultHandle",
     "SimWorld",
     "SysParam",
+    "Tracer",
+    "current_tracer",
+    "tracing",
     "Payload",
     "Cluster",
     "Domain",

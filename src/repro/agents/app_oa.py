@@ -35,6 +35,7 @@ from repro.errors import (
     PersistenceError,
     RegistrationError,
 )
+from repro.obs import events as ev
 from repro.rmi.handle import ResultHandle
 from repro.transport import Addr
 
@@ -59,6 +60,7 @@ class AppOA(HolderEndpoints):
     def __init__(self, runtime: "JSRuntime", app_id: str, home: str) -> None:
         self.runtime = runtime
         self.world = runtime.world
+        self.tracer = runtime.world.tracer
         self.app_id = app_id
         self.home = home
         self.addr = Addr(home, f"app:{app_id}")
@@ -120,6 +122,13 @@ class AppOA(HolderEndpoints):
             )
         ref = ObjectRef(obj_id, class_name, self.addr, location)
         self.refs[obj_id] = RefEntry(ref=ref, location=location)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.OBJ_CREATE, ts=self.world.now(), host=location.host,
+                actor=str(self.addr), obj_id=obj_id, class_name=class_name,
+                location=str(location),
+            )
+            self.tracer.count("obj.created")
         return ref
 
     def free_object(self, ref: ObjectRef) -> None:
@@ -133,6 +142,13 @@ class AppOA(HolderEndpoints):
                 timeout=self.rpc_timeout,
             )
         del self.refs[ref.obj_id]
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.OBJ_FREE, ts=self.world.now(), host=entry.location.host,
+                actor=str(self.addr), obj_id=ref.obj_id,
+                class_name=ref.class_name, location=str(entry.location),
+            )
+            self.tracer.count("obj.freed")
 
     def _own_entry(self, ref: ObjectRef) -> RefEntry:
         entry = self.refs.get(ref.obj_id)
@@ -192,7 +208,13 @@ class AppOA(HolderEndpoints):
     def sinvoke(self, ref: ObjectRef, method: str, params: Any = ()) -> Any:
         """Synchronous (blocking) remote method invocation."""
         self._check_open()
-        return self._invoke_with_redirect(ref, method, params)
+        if not self.tracer.enabled:
+            return self._invoke_with_redirect(ref, method, params)
+        t0 = self.world.now()
+        try:
+            return self._invoke_with_redirect(ref, method, params)
+        finally:
+            self._trace_invoke(ref, method, "sync", t0)
 
     def ainvoke(
         self, ref: ObjectRef, method: str, params: Any = ()
@@ -207,6 +229,7 @@ class AppOA(HolderEndpoints):
             entry.pending += 1
 
         def worker() -> None:
+            t0 = self.world.now()
             try:
                 result = self._invoke_with_redirect(ref, method, params)
             except BaseException as exc:  # noqa: BLE001 - to the handle
@@ -216,15 +239,33 @@ class AppOA(HolderEndpoints):
             finally:
                 if entry is not None:
                     entry.pending -= 1
+                if self.tracer.enabled:
+                    self._trace_invoke(ref, method, "async", t0)
 
         kernel.spawn(
             worker, name=f"ainvoke-{method}@{self.app_id}", context={}
         )
         return ResultHandle(future)
 
+    def _trace_invoke(
+        self, ref: ObjectRef, method: str, mode: str, t0: float | None
+    ) -> None:
+        now = self.world.now()
+        self.tracer.emit(
+            ev.OBJ_INVOKE, ts=t0 if t0 is not None else now,
+            host=self.home, actor=str(self.addr),
+            dur=None if t0 is None else now - t0,
+            obj_id=ref.obj_id, method=method, mode=mode,
+        )
+        self.tracer.count(f"invoke.{mode}")
+        if t0 is not None:
+            self.tracer.observe(f"invoke.latency:{mode}", now - t0)
+
     def oinvoke(self, ref: ObjectRef, method: str, params: Any = ()) -> None:
         """One-sided invocation: no result, no completion wait."""
         self._check_open()
+        if self.tracer.enabled:
+            self._trace_invoke(ref, method, "oneway", None)
         location = self._location_of(ref)
         if location == self.addr:
             # Local object: run it in the background without reply
@@ -295,6 +336,7 @@ class AppOA(HolderEndpoints):
         dst = self.addr if target_host == self.home else Addr(target_host, "oa")
         if src == dst:
             return dst
+        t0 = self.world.now()
         if src == self.addr:
             # The object lives in our own table: run pa1's side inline.
             outcome = self._h_migrate_out(
@@ -308,6 +350,14 @@ class AppOA(HolderEndpoints):
         if not isinstance(outcome, dict) or "new_location" not in outcome:
             raise MigrationError(f"unexpected migration outcome {outcome!r}")
         entry.location = dst
+        if self.tracer.enabled:
+            duration = self.world.now() - t0
+            self.tracer.emit(
+                ev.MIGRATE, ts=t0, host=self.home, actor=str(self.addr),
+                dur=duration, obj_id=ref.obj_id, src=str(src), dst=str(dst),
+            )
+            self.tracer.count("migrations")
+            self.tracer.observe("migrate.duration", duration)
         return dst
 
     # ------------------------------------------------------------------------

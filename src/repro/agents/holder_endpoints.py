@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.agents import messages as M
 from repro.agents.objects import ObjectHolder
 from repro.errors import MigrationError, ObjectStateError
+from repro.obs import events as ev
 from repro.transport import Addr
 from repro.util.serialization import Payload, dumps
 
@@ -44,6 +45,14 @@ class HolderEndpoints(ObjectHolder):
         ep.register(M.STATIC_REF, self._h_static_ref)
         ep.register(M.STATIC_GETVAR, self._h_static_getvar)
         ep.register(M.STATIC_SETVAR, self._h_static_setvar)
+
+    def _trace_migrate_step(self, obj_id: str, step: str) -> None:
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.emit(
+                ev.MIGRATE_STEP, ts=self.world.now(), host=self.addr.host,
+                actor=str(self.addr), obj_id=obj_id, step=step,
+            )
 
     # -- creation ---------------------------------------------------------------
 
@@ -96,10 +105,12 @@ class HolderEndpoints(ObjectHolder):
         if entry.migrating:
             raise MigrationError(f"{obj_id} is already migrating")
         entry.migrating = True
+        self._trace_migrate_step(obj_id, "out-start")
         try:
             # Paper: "migration is delayed until all unfinished method
             # invocations have completed execution".
             self.wait_until_quiescent(entry)
+            self._trace_migrate_step(obj_id, "quiesced")
             blob = dumps(entry.instance)
             payload = Payload(
                 data=(obj_id, entry.class_name, blob, entry.origin),
@@ -114,10 +125,12 @@ class HolderEndpoints(ObjectHolder):
                 Addr(dst.host, dst.agent), M.MIGRATE_IN, payload,
                 timeout=self.migration_timeout,
             )
+            self._trace_migrate_step(obj_id, "pushed")
         except BaseException:
             entry.migrating = False
             raise
         self.drop_object(obj_id, forward_to=dst)
+        self._trace_migrate_step(obj_id, "tombstone")
         machine = self.world.machine(self.addr.host)
         machine.counters.migrations_out += 1
         return {"obj_id": obj_id, "new_location": dst}
@@ -126,6 +139,7 @@ class HolderEndpoints(ObjectHolder):
         """pa2 side: adopt the instance and confirm."""
         obj_id, class_name, blob, origin = msg.payload.data
         entry = self.hold_from_state(obj_id, class_name, blob, origin)
+        self._trace_migrate_step(obj_id, "adopted")
         machine = self.world.machine(self.addr.host)
         machine.counters.migrations_in += 1
         return {"obj_id": obj_id, "mem_mb": entry.mem_mb}
@@ -189,7 +203,15 @@ class HolderEndpoints(ObjectHolder):
     def _h_fetch_state(self, msg):
         obj_id = msg.payload
         blob, entry = self.serialize_object(obj_id)
-        return Payload(
+        payload = Payload(
             data=(entry.class_name, blob),
             nbytes=wire_bytes(entry.instance, blob),
         )
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.emit(
+                ev.OBJ_FETCH_STATE, ts=self.world.now(),
+                host=self.addr.host, actor=str(self.addr),
+                obj_id=obj_id, nbytes=payload.nbytes,
+            )
+        return payload

@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.agents.network_agent import NetworkAgent
 from repro.errors import ShellError
+from repro.obs import events as ev
 from repro.sysmon import Snapshot
 from repro.sysmon.sampler import sample_all
 from repro.transport import Transport
@@ -260,6 +261,13 @@ class NetworkAgentSystem:
                 {"host": host, "cluster": cluster, "reason": reason},
             )
         )
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.emit(
+                ev.NAS_RELEASE, ts=self.world.now(), host=host, actor="nas",
+                cluster=cluster, reason=reason,
+            )
+            tracer.count("nas.released")
         for listener in self.failure_listeners:
             listener(host)
         if not members:
@@ -311,5 +319,14 @@ class NetworkAgentSystem:
                 },
             )
         )
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.emit(
+                ev.NAS_TAKEOVER, ts=self.world.now(),
+                host=self.managers[cluster].manager, actor="nas",
+                cluster=cluster, failed=manager,
+                new_manager=self.managers[cluster].manager,
+            )
+            tracer.count("nas.takeovers")
         for listener in self.failure_listeners:
             listener(manager)

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.agents import messages as M
 from repro.errors import NodeFailedError, RPCTimeoutError, TransportError
+from repro.obs import events as ev
 from repro.sysmon import SampleHistory, WeightedSnapshot, average_snapshots
 from repro.sysmon.sampler import sample_all
 from repro.transport import Addr
@@ -106,6 +107,11 @@ class NetworkAgent:
             self.world.topology,
         )
         self.history.record(self.world.now(), snapshot)
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.emit(ev.NAS_SAMPLE, ts=self.world.now(),
+                        host=self.host, actor=f"na@{self.host}")
+            tracer.count("nas.samples")
         manager = self.nas.cluster_manager_of(self.host)
         if manager is None:
             return
@@ -204,9 +210,15 @@ class NetworkAgent:
                 Addr(peer, "na"), M.PING,
                 timeout=self.nas.config.failure_timeout,
             )
-            return True
+            ok = True
         except (RPCTimeoutError, NodeFailedError, TransportError):
-            return False
+            ok = False
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.emit(ev.NAS_PROBE, ts=self.world.now(), host=self.host,
+                        actor=f"na@{self.host}", peer=peer, ok=ok)
+            tracer.count("nas.probes.ok" if ok else "nas.probes.failed")
+        return ok
 
     # -- query API ----------------------------------------------------------------
 

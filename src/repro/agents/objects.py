@@ -21,6 +21,7 @@ from repro.errors import (
     MethodNotFoundError,
     ObjectStateError,
 )
+from repro.obs.events import OBJ_DISPATCH
 from repro.transport import Addr
 from repro.util.serialization import dumps, flops_of, loads, unwrap
 
@@ -277,6 +278,8 @@ class ObjectHolder:
         machine = self.world.machine(self.addr.host)
         machine.counters.invocations_served += 1
         entry.invocations += 1
+        dispatch_start = self.world.now()
+        flops = 0.0
         try:
             flops = flops_of(args) + method_flops(
                 entry.instance, method_name, unwrap(args)
@@ -286,6 +289,15 @@ class ObjectHolder:
             result = method(*unwrap(args))
         finally:
             entry.executing -= 1
+            tracer = self.world.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    OBJ_DISPATCH, ts=dispatch_start, host=self.addr.host,
+                    actor=str(self.addr),
+                    dur=self.world.now() - dispatch_start,
+                    obj_id=obj_id, method=method_name, flops=flops,
+                )
+                tracer.count(f"dispatch:{self.addr.host}")
         # The instance may have grown (e.g. init() storing a matrix);
         # refresh the memory accounting.
         new_mem = instance_mem_mb(entry.instance)

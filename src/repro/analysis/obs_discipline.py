@@ -1,0 +1,125 @@
+"""Tracer-under-lock analysis.
+
+The obs tracer is designed to be safe from anywhere *except* inside a
+lock-held region: ``tracer.count``/``observe`` take the metrics registry
+lock, so calling them while holding a runtime lock (``_holder_lock``,
+the kernel's ``_lock``, ...) adds a lock-order edge between runtime and
+observability — and even the lock-free ``emit`` path pays its cost
+inside the critical section, stretching every contender's wait.  The
+hook-point convention is: leave the ``with`` block first, then trace.
+
+Rule
+----
+``tracer-call-under-lock`` (warning)
+    ``*.emit(...)`` / ``*.count(...)`` / ``*.observe(...)`` on anything
+    named ``tracer`` lexically inside a ``with <lock>:`` block.
+
+Lock-ness is judged the same way as in
+:mod:`repro.analysis.lock_discipline`: the context expression's name
+mentions "lock".  Nested function definitions are skipped — they do not
+run under the enclosing ``with``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    Module,
+    Project,
+    Severity,
+)
+
+TRACER_METHODS = {"emit", "count", "observe"}
+
+
+def _attr_chain(expr: ast.AST) -> list[str]:
+    """["self", "world", "tracer", "emit"] for self.world.tracer.emit."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _is_tracer_call(call: ast.Call) -> bool:
+    chain = _attr_chain(call.func)
+    if len(chain) < 2 or chain[-1] not in TRACER_METHODS:
+        return False
+    return any("tracer" in part.lower() for part in chain[:-1])
+
+
+def _lockish(expr: ast.AST) -> bool:
+    chain = _attr_chain(expr)
+    return any("lock" in part.lower() for part in chain)
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Tracks lexical ``with <lock>`` nesting within one function body."""
+
+    def __init__(self) -> None:
+        self.held: list[str] = []
+        self.hits: list[tuple[ast.Call, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = [
+            ".".join(_attr_chain(item.context_expr)) or "<lock>"
+            for item in node.items
+            if _lockish(item.context_expr)
+        ]
+        self.held.extend(acquired)
+        self.generic_visit(node)
+        del self.held[len(self.held) - len(acquired):]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held and _is_tracer_call(node):
+            self.hits.append((node, self.held[-1]))
+        self.generic_visit(node)
+
+    # A nested def under a ``with`` executes later, not under the lock.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+class ObsDisciplineChecker(Checker):
+    name = "obs-discipline"
+    rules = {
+        "tracer-call-under-lock": Severity.WARNING,
+    }
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: Module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scanner = _FunctionScanner()
+            for stmt in node.body:
+                scanner.visit(stmt)
+            for call, lock in scanner.hits:
+                method = call.func.attr if isinstance(
+                    call.func, ast.Attribute
+                ) else "?"
+                yield self.finding(
+                    "tracer-call-under-lock",
+                    module.path,
+                    call,
+                    f"tracer.{method}() inside 'with {lock}': move the "
+                    "trace call after the lock is released — it takes "
+                    "the metrics lock and stretches the critical section",
+                    symbol=node.name,
+                )

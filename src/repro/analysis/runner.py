@@ -10,6 +10,7 @@ from repro.analysis.base import Checker, Finding, Module, Project, Severity
 from repro.analysis.blocking import BlockingHandlerChecker
 from repro.analysis.lock_discipline import LockDisciplineChecker
 from repro.analysis.migration_safety import MigrationSafetyChecker
+from repro.analysis.obs_discipline import ObsDisciplineChecker
 from repro.analysis.protocol import ProtocolChecker
 
 SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
@@ -21,6 +22,7 @@ def default_checkers() -> list[Checker]:
         ProtocolChecker(),
         MigrationSafetyChecker(),
         BlockingHandlerChecker(),
+        ObsDisciplineChecker(),
     ]
 
 

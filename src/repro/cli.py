@@ -5,6 +5,7 @@
     python -m repro testbed                   # show the simulated cluster
     python -m repro grid                      # show the wide-area grid
     python -m repro lint src/repro            # symlint static analysis
+    python -m repro trace examples/quickstart.py --json trace.json
 """
 
 from __future__ import annotations
@@ -182,6 +183,45 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import os
+    import runpy
+
+    from repro.obs import (
+        Tracer,
+        render_summary,
+        tracing,
+        write_chrome_trace,
+    )
+
+    target = args.target
+    with tracing(Tracer()) as tracer:
+        if target == "matmul":
+            runtime = vienna_testbed(
+                TestbedConfig(load_profile=args.profile, seed=args.seed)
+            )
+            runtime.run_app(
+                lambda: run_matmul(
+                    MatmulConfig(n=args.n, nr_nodes=args.nodes,
+                                 real_compute=False)
+                )
+            )
+        elif os.path.exists(target):
+            # Any example/benchmark script; it builds its own world, which
+            # adopts the ambient tracer installed above.
+            runpy.run_path(target, run_name="__main__")
+        else:
+            print(f"no such trace target {target!r}; expected a script "
+                  "path or 'matmul'", file=sys.stderr)
+            return 2
+    if args.json:
+        write_chrome_trace(tracer, args.json)
+        print(f"wrote {len(tracer.events)} events to {args.json}")
+    if not args.no_summary:
+        print(render_summary(tracer))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -231,6 +271,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print every rule id and severity, then exit")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a script or builtin under the obs tracer",
+    )
+    p_trace.add_argument(
+        "target",
+        help="path to an example/benchmark script, or 'matmul'",
+    )
+    p_trace.add_argument("--json", default=None, metavar="PATH",
+                         help="write a Chrome trace_event JSON here")
+    p_trace.add_argument("--no-summary", action="store_true",
+                         help="suppress the text summary")
+    p_trace.add_argument("--n", type=int, default=64,
+                         help="matmul: matrix dimension")
+    p_trace.add_argument("--nodes", type=int, default=4,
+                         help="matmul: node count")
+    p_trace.add_argument("--profile", default="night",
+                         choices=["dedicated", "night", "day"])
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.set_defaults(fn=cmd_trace)
 
     return parser
 

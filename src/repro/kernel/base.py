@@ -24,6 +24,7 @@ import enum
 from typing import Any, Callable
 
 from repro.errors import KernelError
+from repro.obs.tracer import NULL_TRACER
 
 
 class ProcessState(enum.Enum):
@@ -112,6 +113,10 @@ class Semaphore(abc.ABC):
 class Kernel(abc.ABC):
     """Factory + scheduler facade shared by both execution backends."""
 
+    #: observability sink; worlds install the ambient tracer here so
+    #: ``spawn`` can record process creation.  Null (and free) by default.
+    tracer = NULL_TRACER
+
     @abc.abstractmethod
     def now(self) -> float:
         """Current time in seconds (virtual or wall)."""
@@ -155,6 +160,11 @@ class Kernel(abc.ABC):
         """Drive execution.  With ``main``, return once it finished; with
         ``until``, stop at that time.  Virtual kernels execute events here;
         the real kernel simply waits (threads run on their own)."""
+
+    def current_process_name(self) -> str:
+        """Name of the calling process, or "" outside any process."""
+        proc = self.current_process()
+        return proc.name if proc is not None else ""
 
     def require_process(self) -> Process:
         proc = self.current_process()

@@ -22,6 +22,7 @@ from repro.kernel.base import (
     ProcessState,
     Semaphore,
 )
+from repro.obs.events import PROC_SPAWN
 
 
 class RealProcess(Process):
@@ -210,6 +211,10 @@ class RealKernel(Kernel):
         )
         with self._lock:
             self.processes.append(proc)
+        if self.tracer.enabled:
+            self.tracer.emit(PROC_SPAWN, ts=self.now() + delay,
+                             actor=proc.name, pid=pid)
+            self.tracer.count("proc.spawned")
         proc._thread.start()
         return proc
 

@@ -29,6 +29,7 @@ from repro.kernel.base import (
     ProcessState,
     Semaphore,
 )
+from repro.obs.events import PROC_SPAWN
 
 _SWITCH_TIMEOUT = 60.0  # seconds of host time; trips only on kernel bugs
 
@@ -354,6 +355,10 @@ class VirtualKernel(Kernel):
         )
         self.processes.append(proc)
         self._push(self._time + delay, ("start", proc))
+        if self.tracer.enabled:
+            self.tracer.emit(PROC_SPAWN, ts=self._time + delay,
+                             actor=proc.name, pid=pid)
+            self.tracer.count("proc.spawned")
         return proc
 
     def sleep(self, duration: float) -> None:

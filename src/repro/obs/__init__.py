@@ -1,0 +1,46 @@
+"""repro.obs — structured tracing + metrics for the PySymphony runtime.
+
+Usage::
+
+    from repro.obs import Tracer, tracing
+
+    with tracing(Tracer()) as tracer:
+        vienna_testbed().run_app(app)   # worlds adopt the ambient tracer
+    print(render_summary(tracer))
+
+See :mod:`repro.obs.events` for the event schema and DESIGN.md for the
+hook-point map.
+"""
+
+from repro.obs import events
+from repro.obs.events import TraceEvent
+from repro.obs.export import (
+    render_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Histogram, Metrics
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "events",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "set_tracer",
+    "tracing",
+    "Metrics",
+    "Histogram",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_summary",
+]

@@ -1,0 +1,85 @@
+"""The trace-event vocabulary: every typed event the runtime can emit.
+
+One :class:`TraceEvent` is one timestamped fact about the runtime, in
+simulated seconds.  Events with a ``dur`` are *spans* (they cover a time
+interval); events without one are *instants*.  The schema below is the
+contract between the hook points (transport, kernel, agents) and the
+exporters in :mod:`repro.obs.export`; DESIGN.md documents it for users.
+
+Event types and their fields
+----------------------------
+``rpc.request`` (span, dur = wire time incl. FIFO wait)
+    kind, nbytes, src, dst, msg_id, oneway
+``rpc.reply`` (span, dur = wire time of the reply leg)
+    kind (``<kind>:reply``), nbytes, src, dst, msg_id
+``rpc.exec`` (span, dur = handler execution time)
+    kind, msg_id, error (True when the handler raised)
+``rpc.drop`` (instant)
+    kind, stage (``request`` | ``reply``), reason
+``proc.spawn`` (instant)
+    pid; actor = process name
+``compute`` (span, dur = modelled execution time)
+    flops; host = executing machine
+``obj.create`` / ``obj.free`` (instant)
+    obj_id, class_name, location
+``obj.invoke`` (span, dur = caller-observed invocation time; instant for
+one-sided calls)
+    obj_id, method, mode (``sync`` | ``async`` | ``oneway``)
+``obj.dispatch`` (span, dur = holder-side execution incl. compute charge)
+    obj_id, method, flops
+``obj.fetch_state`` (instant)
+    obj_id, nbytes
+``migrate`` (span, dur = full ao-side protocol time)
+    obj_id, src, dst
+``migrate.step`` (instant; the Figure-3 sequence)
+    obj_id, step (``out-start`` -> ``quiesced`` -> ``pushed`` ->
+    ``tombstone`` on pa1; ``adopted`` on pa2)
+``nas.sample`` (instant)
+    host; one monitoring-loop tick
+``nas.probe`` (instant)
+    peer, ok (heartbeat outcome)
+``nas.release`` / ``nas.takeover`` (instant)
+    the NAS fault-tolerance protocol firing
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+RPC_REQUEST = "rpc.request"
+RPC_REPLY = "rpc.reply"
+RPC_EXEC = "rpc.exec"
+RPC_DROP = "rpc.drop"
+
+PROC_SPAWN = "proc.spawn"
+COMPUTE = "compute"
+
+OBJ_CREATE = "obj.create"
+OBJ_FREE = "obj.free"
+OBJ_INVOKE = "obj.invoke"
+OBJ_DISPATCH = "obj.dispatch"
+OBJ_FETCH_STATE = "obj.fetch_state"
+
+MIGRATE = "migrate"
+MIGRATE_STEP = "migrate.step"
+
+NAS_SAMPLE = "nas.sample"
+NAS_PROBE = "nas.probe"
+NAS_RELEASE = "nas.release"
+NAS_TAKEOVER = "nas.takeover"
+
+
+@dataclass
+class TraceEvent:
+    """One timestamped runtime fact (span when ``dur`` is set)."""
+
+    ts: float                      # simulated seconds
+    etype: str                     # one of the constants above
+    host: str = ""                 # machine it happened on ("" = global)
+    actor: str = ""                # agent / process name
+    dur: float | None = None       # span duration in simulated seconds
+    fields: dict = field(default_factory=dict)
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur is not None

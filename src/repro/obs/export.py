@@ -1,0 +1,185 @@
+"""Exporters: Chrome trace_event JSON and a human text summary.
+
+The Chrome format (load via ``chrome://tracing`` or https://ui.perfetto.dev)
+maps naturally: our spans become ``ph: "X"`` complete events, instants
+become ``ph: "i"``; hosts become pids and actors tids, so the timeline
+groups one swimlane per machine.  Simulated seconds are scaled to the
+format's microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+from repro.obs.events import (
+    MIGRATE,
+    MIGRATE_STEP,
+    OBJ_CREATE,
+    OBJ_FREE,
+    OBJ_INVOKE,
+    PROC_SPAWN,
+    RPC_DROP,
+    RPC_EXEC,
+    RPC_REPLY,
+    RPC_REQUEST,
+    TraceEvent,
+)
+from repro.obs.tracer import Tracer
+from repro.util.tables import render_table
+
+_US = 1_000_000.0  # trace_event timestamps are in microseconds
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's events as a Chrome ``trace_event`` JSON object."""
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+    out: list[dict] = []
+
+    def pid_of(host: str) -> int:
+        name = host or "<global>"
+        if name not in pids:
+            pids[name] = len(pids) + 1
+            out.append({
+                "name": "process_name", "ph": "M", "pid": pids[name],
+                "tid": 0, "args": {"name": name},
+            })
+        return pids[name]
+
+    def tid_of(pid: int, actor: str) -> int:
+        key = (pid, actor or "-")
+        if key not in tids:
+            tids[key] = sum(1 for p, _ in tids if p == pid) + 1
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": tids[key], "args": {"name": actor or "-"},
+            })
+        return tids[key]
+
+    for ev in tracer.events:
+        pid = pid_of(ev.host)
+        record = {
+            "name": ev.etype,
+            "cat": ev.etype.split(".", 1)[0],
+            "pid": pid,
+            "tid": tid_of(pid, ev.actor),
+            "ts": ev.ts * _US,
+            "args": dict(ev.fields),
+        }
+        if ev.is_span:
+            record["ph"] = "X"
+            record["dur"] = (ev.dur or 0.0) * _US
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        out.append(record)
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tracer), fh)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000.0:.3f}ms"
+
+
+def render_summary(tracer: Tracer) -> str:
+    """A text digest: RPC traffic, object activity, migrations, drops."""
+    parts: list[str] = []
+
+    rpc: dict[str, dict] = defaultdict(
+        lambda: {"n": 0, "bytes": 0, "lat": 0.0, "lat_max": 0.0}
+    )
+    for ev in tracer.events_of(RPC_REQUEST):
+        row = rpc[ev.fields.get("kind", "?")]
+        row["n"] += 1
+        row["bytes"] += ev.fields.get("nbytes", 0)
+    snap = tracer.metrics.snapshot()
+    for name, hist in snap["histograms"].items():
+        if name.startswith("rpc.latency:"):
+            row = rpc[name.split(":", 1)[1]]
+            row["lat"] = hist["mean"]
+            row["lat_max"] = hist["max"]
+    if rpc:
+        rows = [
+            [kind, row["n"], row["bytes"],
+             _fmt_s(row["lat"]), _fmt_s(row["lat_max"])]
+            for kind, row in sorted(rpc.items(), key=lambda kv: -kv[1]["n"])
+        ]
+        parts.append(render_table(
+            ["kind", "requests", "req bytes", "mean rtt", "max rtt"],
+            rows, title="RPC traffic by kind",
+        ))
+
+    n_reply = len(tracer.events_of(RPC_REPLY))
+    n_exec = len(tracer.events_of(RPC_EXEC))
+    drops = tracer.events_of(RPC_DROP)
+    spawns = len(tracer.events_of(PROC_SPAWN))
+    parts.append(
+        f"handlers executed: {n_exec}   replies: {n_reply}   "
+        f"drops: {len(drops)}   processes spawned: {spawns}"
+    )
+    for ev in drops:
+        parts.append(
+            f"  drop [{ev.fields.get('stage', '?')}] "
+            f"{ev.fields.get('kind', '?')} at t={ev.ts:.3f}: "
+            f"{ev.fields.get('reason', '?')}"
+        )
+
+    created = len(tracer.events_of(OBJ_CREATE))
+    freed = len(tracer.events_of(OBJ_FREE))
+    invokes = tracer.events_of(OBJ_INVOKE)
+    if created or invokes:
+        modes: dict[str, int] = defaultdict(int)
+        for ev in invokes:
+            modes[ev.fields.get("mode", "?")] += 1
+        mode_txt = ", ".join(
+            f"{m}={n}" for m, n in sorted(modes.items())
+        ) or "none"
+        parts.append(
+            f"objects: {created} created, {freed} freed; "
+            f"invocations: {mode_txt}"
+        )
+
+    migrations = tracer.events_of(MIGRATE)
+    if migrations:
+        rows = []
+        steps_by_obj: dict[str, list[TraceEvent]] = defaultdict(list)
+        for ev in tracer.events_of(MIGRATE_STEP):
+            steps_by_obj[ev.fields.get("obj_id", "?")].append(ev)
+        for ev in migrations:
+            obj_id = ev.fields.get("obj_id", "?")
+            steps = " > ".join(
+                s.fields.get("step", "?") for s in steps_by_obj[obj_id]
+            )
+            rows.append([
+                obj_id, ev.fields.get("src", "?"), ev.fields.get("dst", "?"),
+                _fmt_s(ev.dur or 0.0), steps,
+            ])
+        parts.append(render_table(
+            ["object", "from", "to", "duration", "protocol steps"],
+            rows, title="Migrations",
+        ))
+
+    counters = snap["counters"]
+    if counters:
+        rows = [[name, round(value, 3)]
+                for name, value in sorted(counters.items())]
+        parts.append(render_table(["counter", "value"], rows,
+                                  title="Counters"))
+
+    if not tracer.events:
+        parts.append("(no events recorded)")
+    span = [ev.ts for ev in tracer.events]
+    if span:
+        parts.insert(0, (
+            f"trace: {len(tracer.events)} events over "
+            f"{_fmt_s(max(span) - min(span))} simulated"
+        ))
+    return "\n".join(parts)

@@ -1,0 +1,87 @@
+"""Counters and histograms aggregated per component.
+
+The registry owns the only lock in the obs package; individual tracers
+stay lock-free so the hot path (a guarded ``tracer.enabled`` check) costs
+one attribute load when tracing is off.  Histogram buckets are log2 so
+latencies spanning microseconds to minutes stay readable.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of one observed quantity (no raw samples kept)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # log2 bucket index; values <= 0 share the floor bucket.
+        idx = math.frexp(value)[1] if value > 0.0 else -1074
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """Thread-safe registry of named counters and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> dict:
+        """A picklable point-in-time view: {'counters': ..., 'histograms': ...}."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in self._histograms.items()
+                },
+            }

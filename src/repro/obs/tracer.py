@@ -1,0 +1,98 @@
+"""The tracer: null by default, recording when installed.
+
+Hook points throughout the runtime hold a tracer reference and guard the
+expensive part (building a field dict) behind ``tracer.enabled``::
+
+    if tracer.enabled:
+        tracer.emit(RPC_REQUEST, ts=now, host=src.host, ...)
+
+:class:`NullTracer` keeps that check a single attribute load, so the
+instrumented runtime costs nothing measurable when tracing is off.
+:class:`Tracer` appends :class:`TraceEvent` records to a plain list
+(``list.append`` is atomic under the GIL, so the event path takes no
+lock — see DESIGN.md) and mirrors aggregates into a :class:`Metrics`
+registry.
+
+Installation is ambient: ``set_tracer()`` / the ``tracing()`` context
+manager set a module-level current tracer which ``SimWorld`` picks up at
+construction time, so application code never threads a tracer through
+the runtime explicitly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import Metrics
+
+
+class NullTracer:
+    """The do-nothing tracer every component holds by default."""
+
+    enabled = False
+
+    def emit(self, etype: str, ts: float, host: str = "", actor: str = "",
+             dur: float | None = None, **fields) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Records typed events and aggregates counters/histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.metrics = Metrics()
+
+    def emit(self, etype: str, ts: float, host: str = "", actor: str = "",
+             dur: float | None = None, **fields) -> None:
+        self.events.append(
+            TraceEvent(ts=ts, etype=etype, host=host, actor=actor,
+                       dur=dur, fields=fields)
+        )
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        self.metrics.count(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def events_of(self, etype: str) -> list[TraceEvent]:
+        return [ev for ev in self.events if ev.etype == etype]
+
+
+_current: NullTracer = NULL_TRACER
+
+
+def current_tracer() -> NullTracer:
+    """The ambient tracer new worlds adopt (NULL_TRACER unless installed)."""
+    return _current
+
+
+def set_tracer(tracer: NullTracer | None) -> None:
+    global _current
+    _current = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install ``tracer`` (a fresh one by default) for the with-block."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = _current
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.errors import RPCTimeoutError, WaitTimeout
 from repro.kernel.base import Future
 
 
@@ -24,7 +25,14 @@ class ResultHandle:
     def get_result(self, timeout: float | None = None) -> Any:
         """Block until the result arrives and return it, re-raising any
         remote exception (paper: ``getResult``)."""
-        return self._future.result(timeout)
+        try:
+            return self._future.result(timeout)
+        except WaitTimeout:
+            # Same caller-facing family as Endpoint.rpc — async callers
+            # must not need to catch raw kernel timeouts.
+            raise RPCTimeoutError(
+                f"async result not ready within {timeout} s"
+            ) from None
 
     # Paper-style aliases.
     isReady = is_ready

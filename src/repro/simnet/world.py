@@ -10,9 +10,13 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from typing import Callable
+
 from repro.errors import TransportError
 from repro.kernel import Kernel, RngStreams
 from repro.kernel.virtual import VirtualKernel
+from repro.obs import events as ev
+from repro.obs.tracer import current_tracer
 from repro.simnet.host import HostSpec
 from repro.simnet.load import ConstantLoad, LoadModel
 from repro.simnet.machine import Machine
@@ -30,6 +34,13 @@ class SimWorld:
         self.topology = topology if topology is not None else Topology()
         self.rng = RngStreams(seed)
         self.machines: dict[str, Machine] = {}
+        #: the ambient tracer at construction time; everything built on
+        #: this world (transport, agents) reads it from here.
+        self.tracer = current_tracer()
+        self.kernel.tracer = self.tracer
+        #: called with the host name whenever :meth:`fail_host` fires, so
+        #: components can shed per-host state (e.g. FIFO ordering floors).
+        self.failure_listeners: list[Callable[[str], None]] = []
 
     # -- construction --------------------------------------------------------
 
@@ -100,7 +111,13 @@ class SimWorld:
                 remaining -= rate * self.compute_resample
         finally:
             machine.end_task()
-        return self.now() - t0
+        elapsed = self.now() - t0
+        if self.tracer.enabled:
+            self.tracer.emit(ev.COMPUTE, ts=t0, host=host,
+                             actor=self.kernel.current_process_name(),
+                             dur=elapsed, flops=flops)
+            self.tracer.count(f"compute.flops:{host}", flops)
+        return elapsed
 
     # -- network -------------------------------------------------------------
 
@@ -131,6 +148,8 @@ class SimWorld:
 
     def fail_host(self, name: str) -> None:
         self.machine(name).fail()
+        for listener in list(self.failure_listeners):
+            listener(name)
 
     def restore_host(self, name: str) -> None:
         self.machine(name).restore()

@@ -30,6 +30,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.kernel.base import Future
+from repro.obs import events as ev
 from repro.simnet.world import SimWorld
 from repro.util.ids import IdGenerator
 from repro.util.serialization import deep_copy_via_pickle, sizeof
@@ -53,6 +54,7 @@ class Message:
     kind: str
     payload: Any
     nbytes: int = 0
+    sent_at: float = 0.0
 
 
 @dataclass
@@ -68,9 +70,16 @@ class TransportStats:
     messages: int = 0
     rpcs: int = 0
     oneways: int = 0
-    dropped: int = 0
+    dropped_requests: int = 0
+    dropped_replies: int = 0
     bytes_total: int = 0
     by_kind: dict = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        """All drops; request vs reply drops are counted separately
+        because a dropped reply means the *caller's* host failed."""
+        return self.dropped_requests + self.dropped_replies
 
 
 class Endpoint:
@@ -145,7 +154,9 @@ class Reply:
             ) from None
         if isinstance(value, RemoteError):
             exc = value.exc
-            if isinstance(exc, NodeFailedError):
+            if isinstance(exc, (NodeFailedError, RemoteInvocationError)):
+                # Already the caller-facing family; re-wrapping would bury
+                # the class (e.g. MethodNotFoundError) a level deep.
                 raise exc
             raise RemoteInvocationError(
                 f"remote handler at {value.where} raised {exc!r}", cause=exc
@@ -168,9 +179,14 @@ class Transport:
         #: ``oinvoke init`` -> ``ainvoke multiply`` pattern relies on it).
         self.fifo = fifo
         self.stats = TransportStats()
+        self.tracer = world.tracer
         self._endpoints: dict[Addr, Endpoint] = {}
         self._ids = IdGenerator()
         self._last_delivery: dict[tuple[str, str], float] = {}
+        # A failed host's TCP connections are gone; its ordering floors
+        # must not outlive them (a recovered host would otherwise queue
+        # behind pre-crash delivery times).
+        world.failure_listeners.append(self._prune_fifo)
         #: sender-side CPU cost of an RMI: dispatch plus serialization.
         #: JDK 1.2 object serialization ran at a handful of MB/s, a large
         #: part of why "a larger number of RMIs" degrades the paper's
@@ -189,6 +205,13 @@ class Transport:
 
     def _unregister(self, addr: Addr) -> None:
         self._endpoints.pop(addr, None)
+        if not any(a.host == addr.host for a in self._endpoints):
+            self._prune_fifo(addr.host)
+
+    def _prune_fifo(self, host: str) -> None:
+        """Forget delivery-order floors involving ``host``."""
+        for key in [k for k in self._last_delivery if host in k]:
+            del self._last_delivery[key]
 
     def endpoint(self, addr: Addr) -> Endpoint | None:
         return self._endpoints.get(addr)
@@ -223,30 +246,42 @@ class Transport:
             kind=kind,
             payload=payload,
             nbytes=nbytes,
+            sent_at=self.world.now(),
         )
         self._charge_sender_cpu(src.host, nbytes)
         try:
             delay = self.world.transfer_delay(src.host, dst.host, nbytes)
         except NodeFailedError:
             # Dropped on the floor; the caller's timeout is the detector.
-            self.stats.dropped += 1
+            self.stats.dropped_requests += 1
+            self._trace_drop(msg, "request", "host failed")
             return
         deliver_at = self.world.now() + delay
         if self.fifo:
             key = (src.host, dst.host)
             deliver_at = max(deliver_at, self._last_delivery.get(key, 0.0))
             self._last_delivery[key] = deliver_at
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.RPC_REQUEST, ts=msg.sent_at, host=src.host,
+                actor=str(src), dur=deliver_at - msg.sent_at,
+                kind=kind, nbytes=nbytes, src=str(src), dst=str(dst),
+                msg_id=msg.msg_id, oneway=oneway,
+            )
+            self.tracer.count(f"rpc.bytes:{kind}", nbytes)
         self.world.kernel.call_at(deliver_at, self._deliver, msg, reply_future)
 
     # -- receive path ------------------------------------------------------------
 
     def _deliver(self, msg: Message, reply_future: Future | None) -> None:
         if self.world.machine(msg.dst.host).failed:
-            self.stats.dropped += 1
+            self.stats.dropped_requests += 1
+            self._trace_drop(msg, "request", "destination failed")
             return
         endpoint = self._endpoints.get(msg.dst)
         if endpoint is None or endpoint.closed:
-            self.stats.dropped += 1
+            self.stats.dropped_requests += 1
+            self._trace_drop(msg, "request", "no such endpoint")
             return
         if self.copy_semantics:
             msg.payload = deep_copy_via_pickle(msg.payload)
@@ -264,32 +299,89 @@ class Transport:
     def _execute(
         self, endpoint: Endpoint, msg: Message, reply_future: Future | None
     ) -> None:
+        exec_start = self.world.now()
+        failed = False
         try:
             handler = endpoint.handler_for(msg.kind)
             result: Any = handler(msg)
         except BaseException as exc:  # noqa: BLE001 - shipped to caller
             result = RemoteError(exc=exc, where=msg.dst)
+            failed = True
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.RPC_EXEC, ts=exec_start, host=msg.dst.host,
+                actor=str(msg.dst), dur=self.world.now() - exec_start,
+                kind=msg.kind, msg_id=msg.msg_id, error=failed,
+            )
         if reply_future is None:
             return
+        if self.copy_semantics:
+            result = self._roundtrip_result(result, msg.dst)
+        reply_kind = msg.kind + ":reply"
         nbytes = sizeof(result)
         self.stats.messages += 1
+        self.stats.by_kind[reply_kind] = (
+            self.stats.by_kind.get(reply_kind, 0) + 1
+        )
         self.stats.bytes_total += nbytes
         try:
             self._charge_sender_cpu(msg.dst.host, nbytes)
             delay = self.world.transfer_delay(msg.dst.host, msg.src.host, nbytes)
         except NodeFailedError:
-            self.stats.dropped += 1
+            # The *caller's* host failed while we were executing.
+            self.stats.dropped_replies += 1
+            self._trace_drop(msg, "reply", "caller failed")
             return
-        if self.copy_semantics and not isinstance(result, RemoteError):
-            result = deep_copy_via_pickle(result)
         deliver_at = self.world.now() + delay
         if self.fifo:
             key = (msg.dst.host, msg.src.host)
             deliver_at = max(deliver_at, self._last_delivery.get(key, 0.0))
             self._last_delivery[key] = deliver_at
+        if self.tracer.enabled:
+            t_reply = self.world.now()
+            self.tracer.emit(
+                ev.RPC_REPLY, ts=t_reply, host=msg.dst.host,
+                actor=str(msg.dst), dur=deliver_at - t_reply,
+                kind=reply_kind, nbytes=nbytes, src=str(msg.dst),
+                dst=str(msg.src), msg_id=msg.msg_id,
+            )
+            self.tracer.count(f"rpc.bytes:{reply_kind}", nbytes)
+            self.tracer.observe(
+                f"rpc.latency:{msg.kind}", deliver_at - msg.sent_at
+            )
         self.world.kernel.call_at(
             deliver_at, self._complete, reply_future, result
         )
+
+    def _roundtrip_result(self, result: Any, where: Addr) -> Any:
+        """Pickle round-trip a reply — including :class:`RemoteError`
+        results, so remote exceptions get copy semantics too.  Unpicklable
+        values degrade to a picklable :class:`RemoteInvocationError`
+        carrying the repr, instead of crossing the wire by reference (or
+        killing the handler process and stranding the caller)."""
+        try:
+            return deep_copy_via_pickle(result)
+        except Exception:
+            if isinstance(result, RemoteError):
+                synthesized: BaseException = RemoteInvocationError(
+                    f"remote handler at {where} raised an unpicklable "
+                    f"exception: {result.exc!r}"
+                )
+            else:
+                synthesized = RemoteInvocationError(
+                    f"remote handler at {where} returned an unpicklable "
+                    f"value: {result!r}"
+                )
+            return RemoteError(exc=synthesized, where=where)
+
+    def _trace_drop(self, msg: Message, stage: str, reason: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.RPC_DROP, ts=self.world.now(), host=msg.dst.host,
+                actor=str(msg.dst), kind=msg.kind, stage=stage,
+                reason=reason, msg_id=msg.msg_id,
+            )
+            self.tracer.count(f"rpc.dropped:{stage}")
 
     def _charge_sender_cpu(self, host: str, nbytes: int) -> None:
         flops = self.cpu_flops_per_msg + nbytes * self.cpu_flops_per_byte

@@ -1,0 +1,39 @@
+"""Fixture: tracer calls inside and outside lock-held regions."""
+
+import threading
+
+
+class Holder:
+    def __init__(self, tracer):
+        self._lock = threading.Lock()
+        self.tracer = tracer
+        self.items = {}
+
+    def store_bad(self, key, value, now):
+        with self._lock:
+            self.items[key] = value
+            self.tracer.emit("obj.create", ts=now, obj_id=key)  # <<EMIT_UNDER_LOCK>>
+
+    def count_bad(self, key, now):
+        with self._lock:
+            if key in self.items:
+                self.tracer.count("hits")  # <<COUNT_UNDER_LOCK>>
+
+    def store_good(self, key, value, now):
+        with self._lock:
+            self.items[key] = value
+        self.tracer.emit("obj.create", ts=now, obj_id=key)
+
+    def deferred_ok(self, key, now):
+        with self._lock:
+            # A nested def under the lock runs later, not under it.
+            def report():
+                self.tracer.count("deferred")
+
+            self.items[key] = report
+        return self.items[key]
+
+    def unrelated_observe_ok(self, hist, value):
+        with self._lock:
+            # Not a tracer: plain histogram object.
+            hist.observe(value)

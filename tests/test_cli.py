@@ -45,3 +45,54 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestTraceCommand:
+    def test_trace_matmul_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "matmul", "--n", "64", "--nodes", "3",
+                     "--profile", "dedicated",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and str(out_path) in out
+        data = json.loads(out_path.read_text())
+        events = data["traceEvents"]
+        # RPC spans with microsecond timestamps and metadata records.
+        assert any(e.get("ph") == "X" and e.get("cat") == "rpc"
+                   for e in events)
+        assert any(e.get("ph") == "M" for e in events)
+
+    def test_trace_summary_sections(self, capsys):
+        assert main(["trace", "matmul", "--n", "64", "--nodes", "3",
+                     "--profile", "dedicated"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "simulated" in out
+        assert "RPC" in out
+
+    def test_trace_script_target(self, capsys, tmp_path):
+        script = tmp_path / "tiny_app.py"
+        script.write_text(
+            "from repro import JSObj, JSRegistration, JSCodebase, "
+            "TestbedConfig, jsclass, vienna_testbed\n"
+            "@jsclass\n"
+            "class Pinger:\n"
+            "    def ping(self):\n"
+            "        return 'pong'\n"
+            "def app():\n"
+            "    reg = JSRegistration()\n"
+            "    cb = JSCodebase(); cb.add(Pinger); cb.load(['rachel'])\n"
+            "    obj = JSObj('Pinger', 'rachel')\n"
+            "    assert obj.sinvoke('ping') == 'pong'\n"
+            "    obj.free(); reg.unregister()\n"
+            "rt = vienna_testbed(TestbedConfig(load_profile='dedicated'))\n"
+            "rt.run_app(app)\n"
+        )
+        assert main(["trace", str(script), "--no-summary"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_trace_unknown_target_exits_2(self, capsys):
+        assert main(["trace", "no/such/script.py"]) == 2
+        assert "no such trace target" in capsys.readouterr().err

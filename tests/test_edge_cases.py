@@ -183,7 +183,9 @@ class TestInvocationEdges:
         dedicated_testbed.run_app(app)
 
     def test_result_handle_timeout(self, dedicated_testbed):
-        from repro.errors import WaitTimeout
+        # Same caller-facing exception family as Endpoint.rpc: a handle
+        # timing out must not leak the kernel's raw WaitTimeout.
+        from repro.errors import RPCTimeoutError
         from tests.conftest import Spinner  # noqa: F401
 
         def app():
@@ -191,7 +193,7 @@ class TestInvocationEdges:
             cb = JSCodebase(); cb.add(Spinner); cb.load("johanna")
             obj = JSObj("Spinner", "johanna")
             handle = obj.ainvoke("spin", [420e6])  # 10 s on johanna
-            with pytest.raises(WaitTimeout):
+            with pytest.raises(RPCTimeoutError):
                 handle.get_result(timeout=1.0)
             assert handle.get_result() == "done"  # still completes
             reg.unregister()

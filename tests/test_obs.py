@@ -1,0 +1,200 @@
+"""Tests for repro.obs: tracer, metrics, exporters, runtime integration."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Histogram,
+    Metrics,
+    Tracer,
+    current_tracer,
+    events as ev,
+    render_summary,
+    set_tracer,
+    to_chrome_trace,
+    tracing,
+)
+
+
+class TestTracerBasics:
+    def test_null_tracer_is_disabled_and_silent(self):
+        NULL_TRACER.emit("rpc.request", ts=0.0, kind="X")
+        NULL_TRACER.count("anything")
+        NULL_TRACER.observe("anything", 1.0)
+        assert NULL_TRACER.enabled is False
+
+    def test_tracer_records_events(self):
+        tracer = Tracer()
+        tracer.emit(ev.RPC_REQUEST, ts=1.0, host="h1", actor="a",
+                    dur=0.5, kind="ECHO", nbytes=10)
+        tracer.emit(ev.RPC_DROP, ts=2.0, host="h1", kind="ECHO")
+        assert len(tracer.events) == 2
+        span, drop = tracer.events
+        assert span.is_span and span.dur == 0.5
+        assert not drop.is_span
+        assert span.fields["kind"] == "ECHO"
+        assert tracer.events_of(ev.RPC_DROP) == [drop]
+
+    def test_ambient_installation(self):
+        assert current_tracer() is NULL_TRACER
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+            with tracing(Tracer()) as inner:
+                assert current_tracer() is inner
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        set_tracer(Tracer())
+        try:
+            assert current_tracer() is not NULL_TRACER
+        finally:
+            set_tracer(None)
+        assert current_tracer() is NULL_TRACER
+
+
+class TestMetrics:
+    def test_counters(self):
+        m = Metrics()
+        m.count("x")
+        m.count("x", 2.5)
+        assert m.counter("x") == 3.5
+        assert m.counter("missing") == 0.0
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.mean == pytest.approx(7.0 / 3)
+        assert sum(h.buckets.values()) == 3
+
+    def test_snapshot_is_plain_data(self):
+        m = Metrics()
+        m.count("c", 2)
+        m.observe("lat", 0.25)
+        snap = m.snapshot()
+        json.dumps(snap)  # picklable/serializable plain dicts
+        assert snap["counters"]["c"] == 2
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestChromeExport:
+    def test_span_and_instant_shapes(self):
+        tracer = Tracer()
+        tracer.emit(ev.RPC_REQUEST, ts=0.001, host="h1", actor="cli@h1",
+                    dur=0.002, kind="ECHO")
+        tracer.emit(ev.OBJ_CREATE, ts=0.005, host="h2", actor="oa",
+                    obj_id="o1")
+        data = to_chrome_trace(tracer)
+        events = data["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        instants = [e for e in events if e.get("ph") == "i"]
+        metas = [e for e in events if e.get("ph") == "M"]
+        assert len(spans) == 1 and len(instants) == 1
+        assert spans[0]["ts"] == pytest.approx(1000.0)   # µs
+        assert spans[0]["dur"] == pytest.approx(2000.0)
+        assert spans[0]["cat"] == "rpc"
+        # pid/tid metadata names both hosts and both actors
+        named = {m["args"]["name"] for m in metas}
+        assert {"h1", "h2", "cli@h1", "oa"} <= named
+        json.dumps(data)  # valid JSON all the way down
+
+    def test_summary_renders_sections(self):
+        tracer = Tracer()
+        tracer.emit(ev.RPC_REQUEST, ts=0.0, dur=0.001, kind="ECHO",
+                    nbytes=100)
+        tracer.observe("rpc.latency:ECHO", 0.002)
+        tracer.emit(ev.MIGRATE, ts=0.0, dur=0.01, obj_id="o1",
+                    src="a", dst="b")
+        tracer.emit(ev.MIGRATE_STEP, ts=0.0, obj_id="o1", step="quiesced")
+        tracer.count("proc.spawned", 3)
+        text = render_summary(tracer)
+        assert "ECHO" in text
+        assert "Migrations" in text
+        assert "quiesced" in text
+        assert "proc.spawned" in text
+
+    def test_summary_empty_tracer(self):
+        assert "no events" in render_summary(Tracer())
+
+
+class TestRuntimeIntegration:
+    def test_world_adopts_ambient_tracer(self):
+        from repro.kernel import VirtualKernel
+        from repro.simnet import SimWorld
+
+        with tracing() as tracer:
+            world = SimWorld(VirtualKernel(strict=True), seed=0)
+            assert world.tracer is tracer
+            assert world.kernel.tracer is tracer
+        # Built outside the context: null again.
+        world2 = SimWorld(VirtualKernel(strict=True), seed=0)
+        assert world2.tracer is NULL_TRACER
+
+    def test_traced_app_produces_rpc_and_object_events(self):
+        from repro import (
+            JSCodebase,
+            JSObj,
+            JSRegistration,
+            TestbedConfig,
+            vienna_testbed,
+        )
+        from tests.conftest import Counter  # noqa: F401
+
+        with tracing() as tracer:
+            runtime = vienna_testbed(
+                TestbedConfig(load_profile="dedicated", seed=7)
+            )
+
+            def app():
+                reg = JSRegistration()
+                cb = JSCodebase()
+                cb.add(Counter)
+                cb.load(["rachel", "theresa"])
+                obj = JSObj("Counter", "rachel")
+                obj.sinvoke("incr")
+                handle = obj.ainvoke("incr")
+                handle.get_result()
+                obj.migrate("theresa")
+                obj.sinvoke("incr")
+                obj.free()
+                reg.unregister()
+
+            runtime.run_app(app)
+
+        etypes = {e.etype for e in tracer.events}
+        assert ev.RPC_REQUEST in etypes
+        assert ev.RPC_REPLY in etypes
+        assert ev.RPC_EXEC in etypes
+        assert ev.OBJ_CREATE in etypes
+        assert ev.OBJ_INVOKE in etypes
+        assert ev.OBJ_DISPATCH in etypes
+        assert ev.MIGRATE in etypes
+        assert ev.PROC_SPAWN in etypes
+        # The full Figure-3 step sequence shows up, in order.
+        steps = [e.fields["step"]
+                 for e in tracer.events_of(ev.MIGRATE_STEP)]
+        assert steps.index("out-start") < steps.index("quiesced")
+        assert steps.index("quiesced") < steps.index("pushed")
+        assert "adopted" in steps and "tombstone" in steps
+        # Latency histograms exist for the invoke kinds used.
+        snap = tracer.metrics.snapshot()
+        assert any(name.startswith("rpc.latency:")
+                   for name in snap["histograms"])
+        # Timestamps are simulated seconds: monotone non-negative and
+        # bounded by the final virtual clock.
+        ts = [e.ts for e in tracer.events]
+        assert min(ts) >= 0.0
+        assert max(ts) <= runtime.world.now() + 1e-9
+
+    def test_untraced_runtime_records_nothing(self):
+        from repro import TestbedConfig, vienna_testbed
+
+        runtime = vienna_testbed(
+            TestbedConfig(load_profile="dedicated", seed=7)
+        )
+        assert runtime.world.tracer is NULL_TRACER

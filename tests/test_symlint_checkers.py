@@ -195,6 +195,33 @@ def test_rules_filter():
 
 
 # ---------------------------------------------------------------------------
+# obs discipline
+# ---------------------------------------------------------------------------
+
+
+def test_tracer_call_under_lock_flagged():
+    report = run("seeded_tracer_lock.py")
+    findings = by_rule(report, "tracer-call-under-lock")
+    assert {f.line for f in findings} == {
+        marker_line("seeded_tracer_lock.py", "EMIT_UNDER_LOCK"),
+        marker_line("seeded_tracer_lock.py", "COUNT_UNDER_LOCK"),
+    }
+    for finding in findings:
+        assert finding.severity is Severity.WARNING
+        assert "_lock" in finding.message
+
+
+def test_tracer_outside_lock_and_nested_def_not_flagged():
+    report = run("seeded_tracer_lock.py")
+    flagged_symbols = {
+        f.symbol for f in by_rule(report, "tracer-call-under-lock")
+    }
+    # store_good (after the with), deferred_ok (nested def) and
+    # unrelated_observe_ok (histogram, not a tracer) must stay clean.
+    assert flagged_symbols == {"store_bad", "count_bad"}
+
+
+# ---------------------------------------------------------------------------
 # whole-directory run: the acceptance-criteria shape
 # ---------------------------------------------------------------------------
 
@@ -209,6 +236,8 @@ EXPECTED_DIR_FINDINGS = {
     ("unserializable-attr", "seeded_unserializable.py", "GEN"),
     ("blocking-sleep-in-handler", "seeded_blocking.py", "SLEEP"),
     ("blocking-rpc-in-handler", "seeded_blocking.py", "RPC"),
+    ("tracer-call-under-lock", "seeded_tracer_lock.py", "EMIT_UNDER_LOCK"),
+    ("tracer-call-under-lock", "seeded_tracer_lock.py", "COUNT_UNDER_LOCK"),
 }
 
 
@@ -257,5 +286,6 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in ("unguarded-write", "lock-order-cycle", "unhandled-kind",
                  "dead-kind", "raw-kind-literal", "unserializable-attr",
-                 "blocking-sleep-in-handler", "parse-error"):
+                 "blocking-sleep-in-handler", "tracer-call-under-lock",
+                 "parse-error"):
         assert rule in out
