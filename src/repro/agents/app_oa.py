@@ -121,6 +121,10 @@ class AppOA(HolderEndpoints):
                 timeout=self.rpc_timeout,
             )
         ref = ObjectRef(obj_id, class_name, self.addr, location)
+        san = self.world.kernel.sanitizer
+        if san.enabled:
+            san.access(f"AppOA[{self.app_id}]", f"refs[{obj_id}]",
+                       scope=self.world.kernel)
         self.refs[obj_id] = RefEntry(ref=ref, location=location)
         if self.tracer.enabled:
             self.tracer.emit(
@@ -141,6 +145,10 @@ class AppOA(HolderEndpoints):
                 entry.location, M.FREE_OBJECT, ref.obj_id,
                 timeout=self.rpc_timeout,
             )
+        san = self.world.kernel.sanitizer
+        if san.enabled:
+            san.access(f"AppOA[{self.app_id}]", f"refs[{ref.obj_id}]",
+                       scope=self.world.kernel)
         del self.refs[ref.obj_id]
         if self.tracer.enabled:
             self.tracer.emit(
@@ -446,6 +454,10 @@ class AppOA(HolderEndpoints):
                 timeout=self.rpc_timeout,
             )
         ref = ObjectRef(obj_id, class_name, self.addr, location)
+        san = self.world.kernel.sanitizer
+        if san.enabled:
+            san.access(f"AppOA[{self.app_id}]", f"refs[{obj_id}]",
+                       scope=self.world.kernel)
         self.refs[obj_id] = RefEntry(ref=ref, location=location)
         return ref
 
@@ -484,6 +496,10 @@ class AppOA(HolderEndpoints):
             try:
                 self.free_object(entry.ref)
             except Exception:  # noqa: BLE001 - best effort cleanup
+                san = self.world.kernel.sanitizer
+                if san.enabled:
+                    san.access(f"AppOA[{self.app_id}]", f"refs[{obj_id}]",
+                       scope=self.world.kernel)
                 self.refs.pop(obj_id, None)
         for watch_id in self.watch_ids:
             try:

@@ -11,7 +11,6 @@ location, pending results and an is-executing flag.  We factor that into
 from __future__ import annotations
 
 import inspect
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -173,7 +172,9 @@ class ObjectHolder:
         #: guards table membership: the transport runs one process per
         #: incoming request, which under the wall-clock kernel means real
         #: OS threads storing/dropping entries concurrently.
-        self._holder_lock = threading.Lock()
+        self._holder_lock = self.world.kernel.sanitizer.make_lock(
+            f"ObjectHolder[{getattr(self, 'addr', '?')}]._holder_lock"
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -215,6 +216,11 @@ class ObjectHolder:
             mem_mb=instance_mem_mb(instance),
         )
         with self._holder_lock:
+            san = self.world.kernel.sanitizer
+            if san.enabled:
+                san.access(f"ObjectHolder[{self.addr}]",
+                           f"objects[{obj_id}]",
+                           scope=self.world.kernel)
             if obj_id in self.objects:
                 raise ObjectStateError(f"object {obj_id} already held here")
             self.tombstones.pop(obj_id, None)
@@ -229,6 +235,11 @@ class ObjectHolder:
         self, obj_id: str, forward_to: Addr | None = None
     ) -> ObjectEntry:
         with self._holder_lock:
+            san = self.world.kernel.sanitizer
+            if san.enabled:
+                san.access(f"ObjectHolder[{self.addr}]",
+                           f"objects[{obj_id}]",
+                           scope=self.world.kernel)
             try:
                 entry = self.objects.pop(obj_id)
             except KeyError:

@@ -60,8 +60,13 @@ class PubOA(HolderEndpoints):
     def _h_load_classes(self, msg):
         entries = msg.payload.data  # list[(class_name, nbytes)]
         machine = self.world.machine(self.host)
+        san = self.world.kernel.sanitizer
         for class_name, nbytes in entries:
             if class_name not in self.loaded_classes:
+                if san.enabled:
+                    san.access(f"PubOA[{self.host}]",
+                               f"loaded[{class_name}]",
+                               scope=self.world.kernel)
                 self.loaded_classes.add(class_name)
                 self._codebase_bytes[class_name] = nbytes
                 machine.codebase_mem_mb += nbytes / 1e6
@@ -70,8 +75,13 @@ class PubOA(HolderEndpoints):
     def _h_unload_classes(self, msg):
         names = msg.payload
         machine = self.world.machine(self.host)
+        san = self.world.kernel.sanitizer
         for class_name in names:
             if class_name in self.loaded_classes:
+                if san.enabled:
+                    san.access(f"PubOA[{self.host}]",
+                               f"loaded[{class_name}]",
+                               scope=self.world.kernel)
                 self.loaded_classes.discard(class_name)
                 nbytes = self._codebase_bytes.pop(class_name, 0)
                 machine.codebase_mem_mb = max(
@@ -83,12 +93,21 @@ class PubOA(HolderEndpoints):
 
     def _h_register_va(self, msg):
         watch_id, hosts, constraints, app_addr = msg.payload
+        san = self.world.kernel.sanitizer
+        if san.enabled:
+            san.access(f"PubOA[{self.host}]", f"va_watches[{watch_id}]",
+                       scope=self.world.kernel)
         self.va_watches[watch_id] = VAWatch(
             watch_id, list(hosts), constraints, app_addr
         )
         return watch_id
 
     def _h_unregister_va(self, msg):
+        san = self.world.kernel.sanitizer
+        if san.enabled:
+            san.access(f"PubOA[{self.host}]",
+                       f"va_watches[{msg.payload}]",
+                       scope=self.world.kernel)
         self.va_watches.pop(msg.payload, None)
         return "ok"
 

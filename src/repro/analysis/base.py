@@ -3,8 +3,10 @@
 A :class:`Checker` sees the whole :class:`Project` (every parsed module)
 so cross-file passes like protocol completeness are first-class.  Line
 suppressions use ``# symlint: disable=rule-a,rule-b`` on the offending
-line or on the line directly above it; anything after the rule list is
-treated as the justification and ignored by the parser.
+line or on the line directly above it, or
+``# symlint: disable-next-line=rule-a`` to cover exactly the following
+line; anything after the rule list is treated as the justification and
+ignored by the parser.
 """
 
 from __future__ import annotations
@@ -49,6 +51,9 @@ class Finding:
 
 
 _SUPPRESS_RE = re.compile(r"#\s*symlint:\s*disable=([\w\-,]+)")
+_SUPPRESS_NEXT_RE = re.compile(
+    r"#\s*symlint:\s*disable-next-line=([\w\-,]+)"
+)
 _ALL = "all"
 
 
@@ -68,6 +73,17 @@ class Module:
         lines = source.splitlines()
         suppressions: dict[int, set[str]] = {}
         for lineno, text in enumerate(lines, start=1):
+            match = _SUPPRESS_NEXT_RE.search(text)
+            if match:
+                # disable-next-line covers exactly the following line,
+                # never its own (trailing use is an explicit choice to
+                # leave this line checked).
+                rules = {
+                    r.strip()
+                    for r in match.group(1).split(",") if r.strip()
+                }
+                suppressions.setdefault(lineno + 1, set()).update(rules)
+                continue
             match = _SUPPRESS_RE.search(text)
             if not match:
                 continue

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.base import Checker, Finding, Module, Project, Severity
 from repro.analysis.blocking import BlockingHandlerChecker
+from repro.analysis.interprocedural import InterproceduralChecker
 from repro.analysis.lock_discipline import LockDisciplineChecker
 from repro.analysis.migration_safety import MigrationSafetyChecker
 from repro.analysis.obs_discipline import ObsDisciplineChecker
@@ -23,6 +24,7 @@ def default_checkers() -> list[Checker]:
         MigrationSafetyChecker(),
         BlockingHandlerChecker(),
         ObsDisciplineChecker(),
+        InterproceduralChecker(),
     ]
 
 
@@ -130,7 +132,12 @@ def analyze_paths(
             report.suppressed += 1
             continue
         report.findings.append(finding)
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    # Deterministic output: drop exact duplicates (two checkers can
+    # flag the same site) and order by location, then rule.
+    report.findings = sorted(
+        set(report.findings),
+        key=lambda f: (f.path, f.line, f.rule, f.col, f.message),
+    )
     return report
 
 
@@ -153,3 +160,29 @@ def render_text(report: Report) -> str:
 
 def render_json(report: Report) -> str:
     return json.dumps(report.to_dict(), indent=2)
+
+
+def render_github(report: Report) -> str:
+    """GitHub Actions workflow commands: each finding becomes an
+    ``::error``/``::warning`` annotation on the offending file line."""
+    level = {
+        Severity.ERROR: "error",
+        Severity.WARNING: "warning",
+        Severity.INFO: "notice",
+    }
+    lines = []
+    for f in report.findings:
+        # Annotation bodies are single-line; newlines would end the
+        # workflow command early.
+        message = f"{f.rule}: {f.message}".replace("\n", " ")
+        lines.append(
+            f"::{level[f.severity]} file={f.path},line={f.line},"
+            f"col={f.col}::{message}"
+        )
+    lines.append(
+        f"symlint: {report.files} files, "
+        f"{report.count(Severity.ERROR)} errors, "
+        f"{report.count(Severity.WARNING)} warnings"
+        + (f", {report.suppressed} suppressed" if report.suppressed else "")
+    )
+    return "\n".join(lines)

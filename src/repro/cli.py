@@ -6,6 +6,7 @@
     python -m repro grid                      # show the wide-area grid
     python -m repro lint src/repro            # symlint static analysis
     python -m repro trace examples/quickstart.py --json trace.json
+    python -m repro san matmul                # symsan concurrency sanitizer
 """
 
 from __future__ import annotations
@@ -148,7 +149,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     import os
 
     from repro.analysis import analyze_paths, render_json, render_text
-    from repro.analysis.runner import known_rules
+    from repro.analysis.runner import known_rules, render_github
 
     if args.list_rules:
         for rule, severity in sorted(known_rules().items()):
@@ -174,6 +175,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     report = analyze_paths(paths, rules=rules)
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "github":
+        print(render_github(report))
     else:
         print(render_text(report))
     if report.errors:
@@ -222,6 +225,63 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_san(args: argparse.Namespace) -> int:
+    import os
+    import runpy
+
+    from repro.errors import KernelError
+    from repro.kernel.virtual import shutdown_all_kernels
+    from repro.sanitizer import Sanitizer, sanitizing
+
+    target = args.target
+    san = Sanitizer(leaks=not args.no_leaks)
+    with sanitizing(san):
+        try:
+            if target == "matmul":
+                runtime = vienna_testbed(
+                    TestbedConfig(load_profile=args.profile,
+                                  seed=args.seed)
+                )
+                runtime.run_app(
+                    lambda: run_matmul(
+                        MatmulConfig(n=args.n, nr_nodes=args.nodes,
+                                     real_compute=False)
+                    )
+                )
+            elif os.path.exists(target):
+                # Any example/benchmark script; the worlds it builds
+                # adopt the ambient sanitizer installed above.
+                runpy.run_path(target, run_name="__main__")
+            else:
+                print(f"no such sanitize target {target!r}; expected a "
+                      "script path or 'matmul'", file=sys.stderr)
+                return 2
+        except KernelError as exc:
+            # Detector aborts (SanDeadlockError, SimDeadlockError) are
+            # already recorded as findings; keep going to the report.
+            print(f"run aborted: {exc}", file=sys.stderr)
+        finally:
+            # Shut surviving kernels down so leak checks run.
+            shutdown_all_kernels()
+    report = san.report()
+    if args.report:
+        from repro.analysis.runner import render_json
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(render_json(report))
+    for f in report.findings:
+        symbol = f" [{f.symbol}]" if f.symbol else ""
+        print(f"{f.path}:{f.line}: {f.severity}: {f.rule}: "
+              f"{f.message}{symbol}")
+    print(f"symsan: {len(report.findings)} findings "
+          f"({len(report.errors)} errors)")
+    if report.errors:
+        return 1
+    if args.strict and report.findings:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -263,7 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories (default: the repro package itself)",
     )
     p_lint.add_argument("--format", default="text",
-                        choices=["text", "json"])
+                        choices=["text", "json", "github"])
     p_lint.add_argument("--rules", default=None,
                         help="comma-separated rule ids to report")
     p_lint.add_argument("--strict", action="store_true",
@@ -292,6 +352,30 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["dedicated", "night", "day"])
     p_trace.add_argument("--seed", type=int, default=1)
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_san = sub.add_parser(
+        "san",
+        help="run a script or builtin under symsan, the concurrency "
+             "sanitizer",
+    )
+    p_san.add_argument(
+        "target",
+        help="path to an example/benchmark script, or 'matmul'",
+    )
+    p_san.add_argument("--report", default=None, metavar="PATH",
+                       help="write the findings as JSON here")
+    p_san.add_argument("--no-leaks", action="store_true",
+                       help="disable shutdown leak checks")
+    p_san.add_argument("--strict", action="store_true",
+                       help="exit non-zero on warnings (leaks) too")
+    p_san.add_argument("--n", type=int, default=64,
+                       help="matmul: matrix dimension")
+    p_san.add_argument("--nodes", type=int, default=4,
+                       help="matmul: node count")
+    p_san.add_argument("--profile", default="night",
+                       choices=["dedicated", "night", "day"])
+    p_san.add_argument("--seed", type=int, default=1)
+    p_san.set_defaults(fn=cmd_san)
 
     return parser
 

@@ -25,6 +25,7 @@ from typing import Any, Callable
 
 from repro.errors import KernelError
 from repro.obs.tracer import NULL_TRACER
+from repro.sanitizer.core import NULL_SANITIZER
 
 
 class ProcessState(enum.Enum):
@@ -116,6 +117,10 @@ class Kernel(abc.ABC):
     #: observability sink; worlds install the ambient tracer here so
     #: ``spawn`` can record process creation.  Null (and free) by default.
     tracer = NULL_TRACER
+
+    #: concurrency sanitizer (symsan); kernels adopt the ambient sanitizer
+    #: at construction time.  Null (and free) by default.
+    sanitizer = NULL_SANITIZER
 
     @abc.abstractmethod
     def now(self) -> float:

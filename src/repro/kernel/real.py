@@ -23,6 +23,7 @@ from repro.kernel.base import (
     Semaphore,
 )
 from repro.obs.events import PROC_SPAWN
+from repro.sanitizer.core import current_sanitizer
 
 
 class RealProcess(Process):
@@ -61,6 +62,11 @@ class RealProcess(Process):
         if self._delay > 0:
             _time.sleep(self._delay * self.kernel.time_scale)
         self.kernel._register_thread(self)
+        san = self.kernel.sanitizer
+        if san.enabled:
+            san.register_thread(self.name)
+            # spawn edge: everything the spawner did happens-before us
+            san.hb_recv(self)
         self._state = ProcessState.RUNNING
         try:
             self._result = self._fn(*self._args)
@@ -72,12 +78,17 @@ class RealProcess(Process):
             self._state = ProcessState.FAILED
             self.kernel._note_crash(self, exc)
         finally:
+            if san.enabled:
+                # join edge: publish our clock before waking joiners
+                san.hb_send(self)
             self._done_evt.set()
 
     def join(self, timeout: float | None = None) -> None:
         scaled = None if timeout is None else timeout * self.kernel.time_scale
         if not self._done_evt.wait(scaled):
             raise WaitTimeout(f"join on {self.name} timed out")
+        if self.kernel.sanitizer.enabled:
+            self.kernel.sanitizer.hb_recv(self)
 
     def result(self) -> Any:
         if not self.finished:
@@ -103,6 +114,7 @@ class RealFuture(Future):
             if self._evt.is_set():
                 raise KernelError("future already completed")
             self._value = value
+            self._complete()
             self._evt.set()
 
     def set_exception(self, exc: BaseException) -> None:
@@ -110,11 +122,22 @@ class RealFuture(Future):
             if self._evt.is_set():
                 raise KernelError("future already completed")
             self._exc = exc
+            self._complete()
             self._evt.set()
+
+    def _complete(self) -> None:
+        san = self._kernel.sanitizer
+        if san.enabled:
+            # publish the completer's clock before waking waiters
+            san.hb_send(self)
+            san.future_completed(self)
 
     def wait(self, timeout: float | None = None) -> bool:
         scaled = None if timeout is None else timeout * self._kernel.time_scale
-        return self._evt.wait(scaled)
+        done = self._evt.wait(scaled)
+        if done and self._kernel.sanitizer.enabled:
+            self._kernel.sanitizer.hb_recv(self)
+        return done
 
     def result(self, timeout: float | None = None) -> Any:
         if not self.wait(timeout):
@@ -133,14 +156,25 @@ class RealChannel(Channel):
         self._queue: queue.Queue = queue.Queue()
 
     def put(self, item: Any) -> None:
+        if self._kernel.sanitizer.enabled:
+            self._kernel.sanitizer.hb_send(self)
         self._queue.put(item)
 
     def get(self, timeout: float | None = None) -> Any:
         scaled = None if timeout is None else timeout * self._kernel.time_scale
+        san = self._kernel.sanitizer
+        if san.enabled:
+            san.chan_wait(self, self._kernel)
         try:
-            return self._queue.get(timeout=scaled)
+            item = self._queue.get(timeout=scaled)
         except queue.Empty:
+            if san.enabled:
+                san.chan_wait_done(self)
             raise WaitTimeout("channel get timed out") from None
+        if san.enabled:
+            san.chan_wait_done(self)
+            san.hb_recv(self)
+        return item
 
     def __len__(self) -> int:
         return self._queue.qsize()
@@ -155,8 +189,12 @@ class RealSemaphore(Semaphore):
         scaled = None if timeout is None else timeout * self._kernel.time_scale
         if not self._sem.acquire(timeout=scaled):
             raise WaitTimeout("semaphore acquire timed out")
+        if self._kernel.sanitizer.enabled:
+            self._kernel.sanitizer.hb_recv(self)
 
     def release(self) -> None:
+        if self._kernel.sanitizer.enabled:
+            self._kernel.sanitizer.hb_send(self)
         self._sem.release()
 
     def __enter__(self) -> "RealSemaphore":
@@ -175,13 +213,14 @@ class RealKernel(Kernel):
         #: "10 second" monitoring period take 100 ms of wall time.
         self.time_scale = time_scale
         self.strict = strict
+        self.sanitizer = current_sanitizer()
         self._t0 = _time.monotonic()
         self._next_pid = 1
         self._shutting_down = False
         #: guards pid allocation and the shared bookkeeping tables below;
         #: spawn()/_register_thread()/_note_crash() run on arbitrary
         #: worker threads (call_soon spawns from inside processes).
-        self._lock = threading.Lock()
+        self._lock = self.sanitizer.make_lock("RealKernel._lock")
         self._by_thread: dict[int, RealProcess] = {}
         self.crashes: list[tuple[RealProcess, BaseException]] = []
         self.processes: list[RealProcess] = []
@@ -210,16 +249,21 @@ class RealKernel(Kernel):
             self, pid, name or f"proc-{pid}", fn, tuple(args), context, delay
         )
         with self._lock:
+            self.sanitizer.access("RealKernel", "processes", scope=self)
             self.processes.append(proc)
         if self.tracer.enabled:
             self.tracer.emit(PROC_SPAWN, ts=self.now() + delay,
                              actor=proc.name, pid=pid)
             self.tracer.count("proc.spawned")
+        if self.sanitizer.enabled:
+            # spawn edge: the child's first action happens-after this point
+            self.sanitizer.hb_send(proc)
         proc._thread.start()
         return proc
 
     def _register_thread(self, proc: RealProcess) -> None:
         with self._lock:
+            self.sanitizer.access("RealKernel", "_by_thread", scope=self)
             self._by_thread[threading.get_ident()] = proc
 
     def sleep(self, duration: float) -> None:
@@ -240,10 +284,14 @@ class RealKernel(Kernel):
 
     def _note_crash(self, proc: RealProcess, exc: BaseException) -> None:
         with self._lock:
+            self.sanitizer.access("RealKernel", "crashes", scope=self)
             self.crashes.append((proc, exc))
 
     def create_future(self) -> RealFuture:
-        return RealFuture(self)
+        fut = RealFuture(self)
+        if self.sanitizer.enabled:
+            self.sanitizer.track_future(fut, self)
+        return fut
 
     def create_channel(self) -> RealChannel:
         return RealChannel(self)
@@ -292,3 +340,5 @@ class RealKernel(Kernel):
             if remaining <= 0:
                 break
             proc._thread.join(timeout=remaining)
+        if self.sanitizer.enabled:
+            self.sanitizer.check_leaks(self)

@@ -30,6 +30,7 @@ from repro.kernel.base import (
     Semaphore,
 )
 from repro.obs.events import PROC_SPAWN
+from repro.sanitizer.core import caller_site, current_sanitizer
 
 _SWITCH_TIMEOUT = 60.0  # seconds of host time; trips only on kernel bugs
 
@@ -62,6 +63,9 @@ class VirtualProcess(Process):
         self._exc: BaseException | None = None
         self._wake_token = 0
         self._wake_reason: str | None = None
+        #: why/where this process is currently blocked (wait-for dumps)
+        self._wait_why: str | None = None
+        self._wait_site: tuple[str, int] | None = None
         self.finished_future: VirtualFuture = VirtualFuture(kernel)
 
     # -- Process API -------------------------------------------------------
@@ -98,6 +102,11 @@ class VirtualProcess(Process):
             self._state = ProcessState.FAILED
             return
         self._state = ProcessState.RUNNING
+        san = self.kernel.sanitizer
+        if san.enabled:
+            san.register_thread(self.name)
+            # spawn edge: everything the spawner did happens-before us
+            san.hb_recv(self)
         try:
             self._result = self._fn(*self._args)
             self._state = ProcessState.FINISHED
@@ -136,7 +145,12 @@ class VirtualProcess(Process):
         timer wake)."""
         self._state = ProcessState.BLOCKED
         self._wake_reason = None
+        self._wait_why = why
+        if self.kernel.sanitizer.enabled:
+            self._wait_site = caller_site()
         self._yield_to_scheduler()
+        self._wait_why = None
+        self._wait_site = None
         self._state = ProcessState.RUNNING
         return self._wake_reason or "wake"
 
@@ -158,6 +172,11 @@ class VirtualFuture(Future):
         return self._done
 
     def _complete(self) -> None:
+        san = self._kernel.sanitizer
+        if san.enabled:
+            # publish the completer's clock before waking waiters
+            san.hb_send(self)
+            san.future_completed(self)
         for proc, token in self._waiters:
             self._kernel._push_wake(self._kernel.now(), proc, token, "wake")
         self._waiters.clear()
@@ -188,7 +207,10 @@ class VirtualFuture(Future):
             self._callbacks.append(cb)
 
     def wait(self, timeout: float | None = None) -> bool:
+        san = self._kernel.sanitizer
         if self._done:
+            if san.enabled:
+                san.hb_recv(self)
             return True
         proc = self._kernel._require_current()
         token = proc._new_token()
@@ -203,6 +225,8 @@ class VirtualFuture(Future):
                 (p, t) for (p, t) in self._waiters if p is not proc
             ]
             return False
+        if san.enabled and self._done:
+            san.hb_recv(self)
         return self._done
 
     def result(self, timeout: float | None = None) -> Any:
@@ -223,6 +247,8 @@ class VirtualChannel(Channel):
         self._waiters: deque[tuple[VirtualProcess, int]] = deque()
 
     def put(self, item: Any) -> None:
+        if self._kernel.sanitizer.enabled:
+            self._kernel.sanitizer.hb_send(self)
         self._items.append(item)
         while self._waiters:
             proc, token = self._waiters.popleft()
@@ -231,8 +257,11 @@ class VirtualChannel(Channel):
 
     def get(self, timeout: float | None = None) -> Any:
         kernel = self._kernel
+        san = kernel.sanitizer
         proc = kernel._require_current()
         deadline = None if timeout is None else kernel.now() + timeout
+        if san.enabled and not self._items:
+            san.chan_wait(self, kernel)
         while not self._items:
             token = proc._new_token()
             self._waiters.append((proc, token))
@@ -243,7 +272,12 @@ class VirtualChannel(Channel):
                 self._waiters = deque(
                     (p, t) for (p, t) in self._waiters if p is not proc
                 )
+                if san.enabled:
+                    san.chan_wait_done(self)
                 raise WaitTimeout("channel get timed out")
+        if san.enabled:
+            san.chan_wait_done(self)
+            san.hb_recv(self)
         return self._items.popleft()
 
     def __len__(self) -> int:
@@ -274,8 +308,12 @@ class VirtualSemaphore(Semaphore):
                 )
                 raise WaitTimeout("semaphore acquire timed out")
         self._value -= 1
+        if kernel.sanitizer.enabled:
+            kernel.sanitizer.hb_recv(self)
 
     def release(self) -> None:
+        if self._kernel.sanitizer.enabled:
+            self._kernel.sanitizer.hb_send(self)
         self._value += 1
         if self._waiters:
             proc, token = self._waiters.popleft()
@@ -297,6 +335,7 @@ class VirtualKernel(Kernel):
         #: run() returns; agents are expected to handle their own errors, so
         #: tests enable this to catch bugs.
         self.strict = strict
+        self.sanitizer = current_sanitizer()
         self._time = 0.0
         self._seq = 0
         self._heap: list[tuple[float, int, tuple]] = []
@@ -314,13 +353,14 @@ class VirtualKernel(Kernel):
     def now(self) -> float:
         return self._time
 
-    def _push(self, time: float, event: tuple) -> None:
+    def _push(self, time: float, event: tuple) -> int:
         if time < self._time - 1e-12:
             raise KernelError(
                 f"cannot schedule event in the past ({time} < {self._time})"
             )
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, event))
+        return self._seq
 
     def _push_wake(
         self, time: float, proc: VirtualProcess, token: int, reason: str
@@ -330,10 +370,15 @@ class VirtualKernel(Kernel):
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` in scheduler context at the current time.
         The callable must not block."""
-        self._push(self._time, ("call", fn, args))
+        seq = self._push(self._time, ("call", fn, args))
+        if self.sanitizer.enabled:
+            # the pusher's clock travels with the event to the scheduler
+            self.sanitizer.on_call_push(seq)
 
     def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
-        self._push(time, ("call", fn, args))
+        seq = self._push(time, ("call", fn, args))
+        if self.sanitizer.enabled:
+            self.sanitizer.on_call_push(seq)
 
     # -- processes -----------------------------------------------------------
 
@@ -355,6 +400,9 @@ class VirtualKernel(Kernel):
         )
         self.processes.append(proc)
         self._push(self._time + delay, ("start", proc))
+        if self.sanitizer.enabled:
+            # spawn edge: the child's first action happens-after this point
+            self.sanitizer.hb_send(proc)
         if self.tracer.enabled:
             self.tracer.emit(PROC_SPAWN, ts=self._time + delay,
                              actor=proc.name, pid=pid)
@@ -386,7 +434,10 @@ class VirtualKernel(Kernel):
     # -- factories -----------------------------------------------------------
 
     def create_future(self) -> VirtualFuture:
-        return VirtualFuture(self)
+        fut = VirtualFuture(self)
+        if self.sanitizer.enabled:
+            self.sanitizer.track_future(fut, self)
+        return fut
 
     def create_channel(self) -> VirtualChannel:
         return VirtualChannel(self)
@@ -407,7 +458,7 @@ class VirtualKernel(Kernel):
         self._sched_evt.clear()
         self._current = None
 
-    def _dispatch(self, event: tuple) -> None:
+    def _dispatch(self, event: tuple, seq: int = 0) -> None:
         kind = event[0]
         if kind == "start":
             proc = event[1]
@@ -424,6 +475,9 @@ class VirtualKernel(Kernel):
             # else: stale wake (process already woken by the other path)
         elif kind == "call":
             _, fn, args = event
+            if self.sanitizer.enabled:
+                # absorb the pusher's clock into the scheduler context
+                self.sanitizer.on_call_run(seq)
             fn(*args)
         else:  # pragma: no cover - defensive
             raise KernelError(f"unknown event kind {kind!r}")
@@ -448,15 +502,21 @@ class VirtualKernel(Kernel):
                     break
                 heapq.heappop(self._heap)
                 self._time = time
-                self._dispatch(event)
+                self._dispatch(event, seq)
             else:
                 # Heap exhausted.
                 if until is not None and self._time < until:
                     self._time = until
                 if main is not None and not main.finished:
+                    dump = self._blocked_dump()
+                    if self.sanitizer.enabled:
+                        self.sanitizer.note_all_blocked(
+                            self, dump, getattr(main, "_wait_site", None)
+                        )
                     raise SimDeadlockError(
                         f"no more events but process {main.name} "
-                        f"is still {main.state.value}"
+                        f"is still {main.state.value}; wait-for graph: "
+                        f"{dump}"
                     )
         finally:
             self._running = False
@@ -475,6 +535,18 @@ class VirtualKernel(Kernel):
         """Drain every pending event (only safe without infinite loops)."""
         self.run()
 
+    def _blocked_dump(self) -> str:
+        """One line per blocked process: what it waits on and where."""
+        parts = []
+        for proc in self.processes:
+            if proc.state is not ProcessState.BLOCKED:
+                continue
+            why = proc._wait_why or "blocked"
+            site = proc._wait_site
+            where = f" at {site[0]}:{site[1]}" if site else ""
+            parts.append(f"{proc.name}: {why}{where}")
+        return "; ".join(parts) if parts else "<no blocked processes>"
+
     def shutdown(self) -> None:
         """Terminate every blocked process thread.
 
@@ -486,6 +558,9 @@ class VirtualKernel(Kernel):
             return
         if self._running or self._current is not None:
             raise KernelError("cannot shut down a running kernel")
+        if self.sanitizer.enabled:
+            # sweep leaks while blocked processes still hold their state
+            self.sanitizer.check_leaks(self)
         self._shutting_down = True
         self._heap.clear()
         for proc in self.processes:

@@ -12,19 +12,31 @@ from typing import Any
 
 from repro.errors import RPCTimeoutError, WaitTimeout
 from repro.kernel.base import Future
+from repro.sanitizer.core import current_sanitizer
 
 
 class ResultHandle:
     def __init__(self, future: Future) -> None:
         self._future = future
+        san = current_sanitizer()
+        if san.enabled:
+            kernel = getattr(future, "_kernel", None)
+            if kernel is not None:
+                san.track_handle(self, kernel)
 
     def is_ready(self) -> bool:
         """Non-blocking availability test (paper: ``isReady``)."""
+        san = current_sanitizer()
+        if san.enabled:
+            san.handle_awaited(self)
         return self._future.done()
 
     def get_result(self, timeout: float | None = None) -> Any:
         """Block until the result arrives and return it, re-raising any
         remote exception (paper: ``getResult``)."""
+        san = current_sanitizer()
+        if san.enabled:
+            san.handle_awaited(self)
         try:
             return self._future.result(timeout)
         except WaitTimeout:

@@ -1,0 +1,127 @@
+"""Wait-for-graph deadlock detection on blocking lock acquisition.
+
+:class:`TrackedLock` is what ``Sanitizer.make_lock`` hands the kernels in
+place of a plain ``threading.Lock``: same interface, but every contended
+blocking acquire first registers a *wait edge* (this thread → that lock)
+and walks lock-owner / thread-waits-for edges.  If the walk leads back to
+the acquiring thread, the edge would close a cycle — a real deadlock, in
+flight — and the sanitizer raises :class:`repro.errors.SanDeadlockError`
+in the acquiring thread, which unwinds and releases its locks instead of
+hanging the process.
+
+The graph also doubles as the held-lock bookkeeping the lockset race
+detector reads (``held_names``) and the wait-for dump the virtual kernel
+prints on all-blocked hangs.  All graph methods run under the
+sanitizer's internal mutex; :class:`TrackedLock` itself only calls back
+into the sanitizer, never touches the graph directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sanitizer.core import Sanitizer
+
+
+class TrackedLock:
+    """Drop-in ``threading.Lock`` replacement reporting to a sanitizer."""
+
+    def __init__(self, sanitizer: "Sanitizer", name: str) -> None:
+        self._sanitizer = sanitizer
+        self.name = name
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if self._inner.acquire(False):
+            self._sanitizer._lock_acquired(self)
+            return True
+        if not blocking:
+            return False
+        # Contended: raises SanDeadlockError if this wait closes a cycle.
+        self._sanitizer._lock_wait(self)
+        try:
+            acquired = self._inner.acquire(True, timeout)
+        finally:
+            self._sanitizer._lock_wait_done(self)
+        if acquired:
+            self._sanitizer._lock_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer._lock_released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<TrackedLock {self.name!r} {state}>"
+
+
+class WaitForGraph:
+    """Ownership and wait edges between threads and tracked locks."""
+
+    def __init__(self) -> None:
+        #: lock -> thread id currently owning it
+        self.owner: dict[TrackedLock, int] = {}
+        #: thread id -> locks it holds, in acquisition order
+        self.held: dict[int, list[TrackedLock]] = {}
+        #: thread id -> the single lock it is blocked acquiring
+        self.waiting: dict[int, TrackedLock] = {}
+
+    def wait(
+        self, tid: int, lock: TrackedLock
+    ) -> list[tuple[int, TrackedLock]] | None:
+        """Register ``tid`` as blocked on ``lock``.
+
+        Returns the cycle as owner-hops [(owner_tid, owned_lock), ...]
+        if the new edge closes one (the last owner is ``tid`` itself),
+        else None after recording the wait edge.
+        """
+        path: list[tuple[int, TrackedLock]] = []
+        cursor: TrackedLock | None = lock
+        while cursor is not None:
+            owner = self.owner.get(cursor)
+            if owner is None:
+                break
+            path.append((owner, cursor))
+            if owner == tid:
+                return path
+            cursor = self.waiting.get(owner)
+        self.waiting[tid] = lock
+        return None
+
+    def wait_done(self, tid: int) -> None:
+        self.waiting.pop(tid, None)
+
+    def acquired(self, tid: int, lock: TrackedLock) -> None:
+        self.owner[lock] = tid
+        self.held.setdefault(tid, []).append(lock)
+
+    def released(self, tid: int, lock: TrackedLock) -> None:
+        self.owner.pop(lock, None)
+        held = self.held.get(tid)
+        if held is not None and lock in held:
+            held.remove(lock)
+
+    def held_names(self, tid: int) -> frozenset[str]:
+        return frozenset(lock.name for lock in self.held.get(tid, ()))
+
+    def dump(self, name_of) -> str:
+        """Human-readable wait-for edges for hang reports."""
+        edges = []
+        for tid, lock in sorted(self.waiting.items()):
+            owner = self.owner.get(lock)
+            holder = f" (held by {name_of(owner)})" if owner is not None \
+                else ""
+            edges.append(f"{name_of(tid)} -> '{lock.name}'{holder}")
+        return "; ".join(edges) if edges else "<no lock waits>"

@@ -1,10 +1,56 @@
-"""Shared fixtures: registered test classes and testbed factories."""
+"""Shared fixtures: registered test classes and testbed factories.
+
+Set ``REPRO_SAN=1`` to run the whole suite under the symsan concurrency
+sanitizer: every kernel created during a test binds a shared sanitizer,
+and any finding (race, deadlock cycle, all-blocked hang) fails the run at
+session end.  ``REPRO_SAN_REPORT=<path>`` additionally writes the symsan
+JSON report there (CI uploads it as an artifact).
+"""
+
+import os
 
 import pytest
 
 from repro.agents.objects import js_compute, jsclass
 from repro.cluster import TestbedConfig, vienna_testbed
 from repro.kernel.virtual import shutdown_all_kernels
+
+_SAN_ENABLED = os.environ.get("REPRO_SAN", "") not in ("", "0")
+_SESSION_SANITIZER = None
+
+
+def pytest_configure(config):
+    global _SESSION_SANITIZER
+    if _SAN_ENABLED:
+        from repro.sanitizer import Sanitizer, set_sanitizer
+
+        # leaks stay off suite-wide: agent mailbox loops legitimately park
+        # on channel gets, and tests tear worlds down mid-flight.
+        _SESSION_SANITIZER = Sanitizer(leaks=False)
+        set_sanitizer(_SESSION_SANITIZER)
+
+
+def pytest_unconfigure(config):
+    if _SESSION_SANITIZER is None:
+        return
+    from repro.analysis.runner import render_json
+    from repro.sanitizer import set_sanitizer
+
+    set_sanitizer(None)
+    report = _SESSION_SANITIZER.report()
+    report_path = os.environ.get("REPRO_SAN_REPORT")
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(render_json(report))
+    if report.findings:
+        lines = "\n".join(
+            f"  {f.path}:{f.line}: {f.rule}: {f.message}"
+            for f in report.findings
+        )
+        raise pytest.UsageError(
+            f"symsan found {len(report.findings)} concurrency "
+            f"finding(s) during the sanitized run:\n{lines}"
+        )
 
 
 @pytest.fixture(autouse=True)
@@ -14,6 +60,11 @@ def _sweep_leaked_kernels():
     threads (which starves the wall-clock kernel tests)."""
     yield
     shutdown_all_kernels()
+    if _SESSION_SANITIZER is not None:
+        # Tests build independent worlds but reuse deterministic object
+        # ids (and the OS recycles thread idents), so access history must
+        # not leak from one test into the next.
+        _SESSION_SANITIZER.reset_context()
 
 
 @jsclass

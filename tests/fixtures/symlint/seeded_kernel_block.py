@@ -1,0 +1,22 @@
+"""Seeded transitive wall-clock sleep in a handler (symlint fixture).
+
+The handler itself contains no sleep — the per-file blocking checker
+passes it — but its backoff helper stalls the request process with a raw
+``time.sleep`` that only the call-graph pass can reach.
+"""
+
+import time
+
+PING = "ping"
+
+
+class Prober:
+    def __init__(self, endpoint):
+        endpoint.register(PING, self._h_ping)
+
+    def _h_ping(self, msg):
+        self._backoff()  # <<TRANSITIVE_SLEEP>>
+        return "pong"
+
+    def _backoff(self):
+        time.sleep(0.5)  # <<RAW_SLEEP>>

@@ -1,0 +1,31 @@
+"""Seeded cross-function rpc-under-lock violation (symlint fixture).
+
+``Directory.rebind`` looks innocent per-file: the lock region only calls
+a private helper.  Two hops down, the helper performs a synchronous RPC
+while the lock is still held — only the interprocedural pass sees it.
+"""
+
+import threading
+
+DIR_SYNC = "dir-sync"
+
+
+class Directory:
+    def __init__(self, endpoint, peer):
+        self._lock = threading.Lock()
+        self.endpoint = endpoint
+        self.peer = peer
+        self.entries = {}
+
+    def rebind(self, name, addr):
+        with self._lock:
+            self.entries[name] = addr
+            self._refresh(name)  # <<RPC_UNDER_LOCK>>
+
+    def _refresh(self, name):
+        self._push(name)
+
+    def _push(self, name):
+        self.endpoint.rpc(
+            self.peer, DIR_SYNC, (name, self.entries[name])
+        )  # <<RPC_SINK>>

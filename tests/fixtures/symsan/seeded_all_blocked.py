@@ -1,0 +1,33 @@
+"""Seeded all-blocked hang under the virtual kernel (symsan fixture).
+
+The main process waits on a future nobody completes; the scheduler runs
+out of events with the process still blocked.  The kernel raises its
+usual ``SimDeadlockError`` and — when a sanitizer is installed —
+additionally records a ``san-all-blocked`` finding carrying the
+wait-for dump (who is parked, why, and where).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimDeadlockError
+from repro.kernel import VirtualKernel
+
+
+def main() -> None:
+    kernel = VirtualKernel()
+
+    def root() -> None:
+        fut = kernel.create_future()
+        fut.result()  # nobody will ever set it
+
+    proc = kernel.spawn(root, name="stuck-main")
+    try:
+        kernel.run(main=proc)
+    except SimDeadlockError:
+        pass
+    finally:
+        kernel.shutdown()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,57 @@
+"""Seeded AB/BA deadlock under the wall-clock kernel (symsan fixture).
+
+Two processes acquire two sanitizer-tracked locks in opposite orders,
+synchronized through futures so both hold their first lock before
+either tries the second.  Without symsan this hangs until the test
+harness kills it; with symsan the acquire that would close the cycle
+raises ``SanDeadlockError``, the raiser unwinds (releasing its lock),
+and the peer completes — the deadlock is both *reported* and *broken*.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SanDeadlockError
+from repro.kernel import RealKernel
+from repro.sanitizer import current_sanitizer
+
+
+def main() -> dict:
+    kernel = RealKernel(time_scale=0.005)
+    san = current_sanitizer()
+    lock_a = san.make_lock("fixture.A")
+    lock_b = san.make_lock("fixture.B")
+    outcome: dict = {"raised": []}
+
+    def worker(name, first, second, ready, other_ready):
+        try:
+            with first:
+                ready.set_result(True)
+                other_ready.result(timeout=5.0)
+                with second:
+                    pass
+        except SanDeadlockError as exc:
+            outcome["raised"].append((name, str(exc)))
+
+    def root() -> None:
+        ready_ab = kernel.create_future()
+        ready_ba = kernel.create_future()
+        p_ab = kernel.spawn(
+            worker, "t_ab", lock_a, lock_b, ready_ab, ready_ba,
+            name="t_ab",
+        )
+        p_ba = kernel.spawn(
+            worker, "t_ba", lock_b, lock_a, ready_ba, ready_ab,
+            name="t_ba",
+        )
+        p_ab.join()
+        p_ba.join()
+
+    try:
+        kernel.run_callable(root)
+    finally:
+        kernel.shutdown()
+    return outcome
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,49 @@
+"""Seeded unlocked-table race (symsan runtime fixture).
+
+``BuggyTable`` mimics ``ObjectHolder``'s instrumented store path minus
+the ``_holder_lock`` — exactly the bug symlint's ``unguarded-write``
+would flag if the lock existed, and exactly what symsan's lockset
+detector catches at runtime: two real threads storing into the same
+table cell with no common lock and no happens-before edge.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import RealKernel
+
+
+class BuggyTable:
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.objects: dict[str, str] = {}
+
+    def store(self, key: str, value: str) -> None:
+        san = self.kernel.sanitizer
+        if san.enabled:
+            san.access("BuggyTable", f"objects[{key}]", scope=self.kernel)
+        self.objects[key] = value
+
+
+def main() -> None:
+    kernel = RealKernel(time_scale=0.005)
+    table = BuggyTable(kernel)
+
+    def writer(tag: str) -> None:
+        for _ in range(5):
+            table.store("shared", tag)
+            kernel.sleep(0.1)
+
+    def root() -> None:
+        a = kernel.spawn(writer, "a", name="writer-a")
+        b = kernel.spawn(writer, "b", name="writer-b")
+        a.join()
+        b.join()
+
+    try:
+        kernel.run_callable(root)
+    finally:
+        kernel.shutdown()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -238,6 +238,9 @@ EXPECTED_DIR_FINDINGS = {
     ("blocking-rpc-in-handler", "seeded_blocking.py", "RPC"),
     ("tracer-call-under-lock", "seeded_tracer_lock.py", "EMIT_UNDER_LOCK"),
     ("tracer-call-under-lock", "seeded_tracer_lock.py", "COUNT_UNDER_LOCK"),
+    ("rpc-under-lock", "seeded_rpc_under_lock.py", "RPC_UNDER_LOCK"),
+    ("kernel-block-transitive", "seeded_kernel_block.py",
+     "TRANSITIVE_SLEEP"),
 }
 
 
