@@ -36,6 +36,7 @@ from repro.errors import (
     RegistrationError,
 )
 from repro.obs import events as ev
+from repro.obs import spans
 from repro.rmi.handle import ResultHandle
 from repro.transport import Addr
 
@@ -216,13 +217,21 @@ class AppOA(HolderEndpoints):
     def sinvoke(self, ref: ObjectRef, method: str, params: Any = ()) -> Any:
         """Synchronous (blocking) remote method invocation."""
         self._check_open()
-        if not self.tracer.enabled:
+        tracer = self.tracer
+        if not tracer.enabled:
             return self._invoke_with_redirect(ref, method, params)
         t0 = self.world.now()
+        span = tracer.begin_span(
+            ev.OBJ_INVOKE, ts=t0, host=self.home, actor=str(self.addr),
+            obj_id=ref.obj_id, method=method, mode="sync",
+        )
         try:
             return self._invoke_with_redirect(ref, method, params)
         finally:
-            self._trace_invoke(ref, method, "sync", t0)
+            now = self.world.now()
+            tracer.end_span(span, ts=now)
+            tracer.count("invoke.sync")
+            tracer.observe("invoke.latency:sync", now - t0)
 
     def ainvoke(
         self, ref: ObjectRef, method: str, params: Any = ()
@@ -235,9 +244,22 @@ class AppOA(HolderEndpoints):
         entry = self.refs.get(ref.obj_id)
         if entry is not None:
             entry.pending += 1
+        tracer = self.tracer
+        inv_span = None
+        if tracer.enabled:
+            # Opened in the caller (install=False: the span belongs to
+            # the worker, not to the caller's context) so the handle can
+            # link its get_result wait span to this invocation.
+            inv_span = tracer.begin_span(
+                ev.OBJ_INVOKE, ts=self.world.now(), host=self.home,
+                actor=str(self.addr), install=False,
+                obj_id=ref.obj_id, method=method, mode="async",
+            )
 
         def worker() -> None:
             t0 = self.world.now()
+            if inv_span is not None:
+                spans.set_context(inv_span.ctx)
             try:
                 result = self._invoke_with_redirect(ref, method, params)
             except BaseException as exc:  # noqa: BLE001 - to the handle
@@ -247,51 +269,55 @@ class AppOA(HolderEndpoints):
             finally:
                 if entry is not None:
                     entry.pending -= 1
-                if self.tracer.enabled:
-                    self._trace_invoke(ref, method, "async", t0)
+                if inv_span is not None:
+                    now = self.world.now()
+                    tracer.end_span(inv_span, ts=now)
+                    tracer.count("invoke.async")
+                    tracer.observe("invoke.latency:async", now - t0)
 
         kernel.spawn(
             worker, name=f"ainvoke-{method}@{self.app_id}", context={}
         )
-        return ResultHandle(future)
-
-    def _trace_invoke(
-        self, ref: ObjectRef, method: str, mode: str, t0: float | None
-    ) -> None:
-        now = self.world.now()
-        self.tracer.emit(
-            ev.OBJ_INVOKE, ts=t0 if t0 is not None else now,
-            host=self.home, actor=str(self.addr),
-            dur=None if t0 is None else now - t0,
-            obj_id=ref.obj_id, method=method, mode=mode,
+        return ResultHandle(
+            future,
+            ctx=inv_span.ctx if inv_span is not None else None,
+            label=f"{ref.obj_id}.{method}",
         )
-        self.tracer.count(f"invoke.{mode}")
-        if t0 is not None:
-            self.tracer.observe(f"invoke.latency:{mode}", now - t0)
 
     def oinvoke(self, ref: ObjectRef, method: str, params: Any = ()) -> None:
         """One-sided invocation: no result, no completion wait."""
         self._check_open()
-        if self.tracer.enabled:
-            self._trace_invoke(ref, method, "oneway", None)
-        location = self._location_of(ref)
-        if location == self.addr:
-            # Local object: run it in the background without reply
-            # traffic.  Exceptions are dropped, exactly as a remote
-            # one-sided invocation would drop them (fire and forget).
-            def fire() -> None:
-                try:
-                    self.dispatch_invoke(ref.obj_id, method, params)
-                except Exception:  # noqa: BLE001 - one-sided semantics
-                    pass
-
-            self.world.kernel.spawn(
-                fire, name=f"oinvoke-{method}@{self.app_id}", context={}
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin_span(
+                ev.OBJ_INVOKE, ts=self.world.now(), host=self.home,
+                actor=str(self.addr), obj_id=ref.obj_id, method=method,
+                mode="oneway",
             )
-            return
-        self.endpoint.send_oneway(
-            location, M.ONEWAY_INVOKE, (ref.obj_id, method, params)
-        )
+        try:
+            location = self._location_of(ref)
+            if location == self.addr:
+                # Local object: run it in the background without reply
+                # traffic.  Exceptions are dropped, exactly as a remote
+                # one-sided invocation would drop them (fire and forget).
+                def fire() -> None:
+                    try:
+                        self.dispatch_invoke(ref.obj_id, method, params)
+                    except Exception:  # noqa: BLE001 - one-sided semantics
+                        pass
+
+                self.world.kernel.spawn(
+                    fire, name=f"oinvoke-{method}@{self.app_id}", context={}
+                )
+                return
+            self.endpoint.send_oneway(
+                location, M.ONEWAY_INVOKE, (ref.obj_id, method, params)
+            )
+        finally:
+            if span is not None:
+                tracer.end_span(span, ts=self.world.now())
+                tracer.count("invoke.oneway")
 
     def _invoke_with_redirect(
         self, ref: ObjectRef, method: str, params: Any
@@ -345,27 +371,38 @@ class AppOA(HolderEndpoints):
         if src == dst:
             return dst
         t0 = self.world.now()
-        if src == self.addr:
-            # The object lives in our own table: run pa1's side inline.
-            outcome = self._h_migrate_out(
-                type("_Local", (), {"payload": (ref.obj_id, dst)})()
-            )
-        else:
-            outcome = self.endpoint.rpc(
-                src, M.MIGRATE_OUT, (ref.obj_id, dst),
-                timeout=self.rpc_timeout,
-            )
-        if not isinstance(outcome, dict) or "new_location" not in outcome:
-            raise MigrationError(f"unexpected migration outcome {outcome!r}")
-        entry.location = dst
-        if self.tracer.enabled:
-            duration = self.world.now() - t0
-            self.tracer.emit(
+        tracer = self.tracer
+        mspan = None
+        if tracer.enabled:
+            mspan = tracer.begin_span(
                 ev.MIGRATE, ts=t0, host=self.home, actor=str(self.addr),
-                dur=duration, obj_id=ref.obj_id, src=str(src), dst=str(dst),
+                obj_id=ref.obj_id, src=str(src), dst=str(dst),
             )
-            self.tracer.count("migrations")
-            self.tracer.observe("migrate.duration", duration)
+        try:
+            if src == self.addr:
+                # The object lives in our own table: run pa1's side inline.
+                outcome = self._h_migrate_out(
+                    type("_Local", (), {"payload": (ref.obj_id, dst)})()
+                )
+            else:
+                outcome = self.endpoint.rpc(
+                    src, M.MIGRATE_OUT, (ref.obj_id, dst),
+                    timeout=self.rpc_timeout,
+                )
+            if not isinstance(outcome, dict) or "new_location" not in outcome:
+                raise MigrationError(
+                    f"unexpected migration outcome {outcome!r}"
+                )
+        except BaseException:
+            if mspan is not None:
+                tracer.end_span(mspan, ts=self.world.now(), error=True)
+            raise
+        entry.location = dst
+        if mspan is not None:
+            duration = self.world.now() - t0
+            tracer.end_span(mspan, ts=self.world.now())
+            tracer.count("migrations")
+            tracer.observe("migrate.duration", duration)
         return dst
 
     # ------------------------------------------------------------------------
@@ -375,17 +412,34 @@ class AppOA(HolderEndpoints):
     def store_object(self, ref: ObjectRef, key: str | None = None) -> str:
         self._check_open()
         entry = self._own_entry(ref)
-        if entry.location == self.addr:
-            blob, obj_entry = self.serialize_object(ref.obj_id)
-            class_name = obj_entry.class_name
-        else:
-            payload = self.endpoint.rpc(
-                entry.location, M.FETCH_STATE, ref.obj_id,
-                timeout=self.rpc_timeout,
+        tracer = self.tracer
+        pspan = None
+        if tracer.enabled:
+            pspan = tracer.begin_span(
+                ev.PERSIST_STORE, ts=self.world.now(), host=self.home,
+                actor=str(self.addr), obj_id=ref.obj_id,
             )
-            class_name, blob = payload.data if hasattr(payload, "data") \
-                else payload
-        stored = self.runtime.persistent_store.save(class_name, blob, key=key)
+        try:
+            if entry.location == self.addr:
+                blob, obj_entry = self.serialize_object(ref.obj_id)
+                class_name = obj_entry.class_name
+            else:
+                payload = self.endpoint.rpc(
+                    entry.location, M.FETCH_STATE, ref.obj_id,
+                    timeout=self.rpc_timeout,
+                )
+                class_name, blob = payload.data if hasattr(payload, "data") \
+                    else payload
+            stored = self.runtime.persistent_store.save(
+                class_name, blob, key=key
+            )
+        except BaseException:
+            if pspan is not None:
+                tracer.end_span(pspan, ts=self.world.now(), error=True)
+            raise
+        if pspan is not None:
+            tracer.end_span(pspan, ts=self.world.now(), key=stored)
+            tracer.count("persist.stores")
         # Remember the latest checkpoint; the optional failure-recovery
         # extension (paper: future work) restores from it.
         entry.meta["checkpoint"] = stored
@@ -433,26 +487,41 @@ class AppOA(HolderEndpoints):
 
     def load_object(self, key: str, host: str | None = None) -> ObjectRef:
         self._check_open()
-        record = self.runtime.persistent_store.load(key)
-        if record is None:
-            raise PersistenceError(f"no persistent object under {key!r}")
-        class_name, blob = record
-        obj_id = self.runtime.ids.next(f"{self.app_id}:obj")
-        host = host or self.home
-        if host == self.home:
-            location = self.addr
-            self.hold_from_state(obj_id, class_name, blob, self.addr)
-        else:
-            from repro.util.serialization import Payload
-
-            location = Addr(host, "oa")
-            self.endpoint.rpc(
-                location,
-                M.CREATE_FROM_STATE,
-                Payload(data=(obj_id, class_name, blob, self.addr),
-                        nbytes=len(blob)),
-                timeout=self.rpc_timeout,
+        tracer = self.tracer
+        pspan = None
+        if tracer.enabled:
+            pspan = tracer.begin_span(
+                ev.PERSIST_LOAD, ts=self.world.now(), host=self.home,
+                actor=str(self.addr), key=key,
             )
+        try:
+            record = self.runtime.persistent_store.load(key)
+            if record is None:
+                raise PersistenceError(f"no persistent object under {key!r}")
+            class_name, blob = record
+            obj_id = self.runtime.ids.next(f"{self.app_id}:obj")
+            host = host or self.home
+            if host == self.home:
+                location = self.addr
+                self.hold_from_state(obj_id, class_name, blob, self.addr)
+            else:
+                from repro.util.serialization import Payload
+
+                location = Addr(host, "oa")
+                self.endpoint.rpc(
+                    location,
+                    M.CREATE_FROM_STATE,
+                    Payload(data=(obj_id, class_name, blob, self.addr),
+                            nbytes=len(blob)),
+                    timeout=self.rpc_timeout,
+                )
+        except BaseException:
+            if pspan is not None:
+                tracer.end_span(pspan, ts=self.world.now(), error=True)
+            raise
+        if pspan is not None:
+            tracer.end_span(pspan, ts=self.world.now(), obj_id=obj_id)
+            tracer.count("persist.loads")
         ref = ObjectRef(obj_id, class_name, self.addr, location)
         san = self.world.kernel.sanitizer
         if san.enabled:

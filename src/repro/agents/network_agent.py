@@ -101,30 +101,45 @@ class NetworkAgent:
             kernel.sleep(config.monitor_period)
 
     def _monitor_once(self) -> None:
-        snapshot = sample_all(
-            self.world.machine(self.host),
-            self.world.now(),
-            self.world.topology,
-        )
+        from repro.sysmon import SysParam
+
+        t0 = self.world.now()
+        machine = self.world.machine(self.host)
+        snapshot = sample_all(machine, t0, self.world.topology)
         self.history.record(self.world.now(), snapshot)
         tracer = self.world.tracer
+        span = None
         if tracer.enabled:
-            tracer.emit(ev.NAS_SAMPLE, ts=self.world.now(),
-                        host=self.host, actor=f"na@{self.host}")
-            tracer.count("nas.samples")
-        manager = self.nas.cluster_manager_of(self.host)
-        if manager is None:
-            return
-        if manager == self.host:
-            self.member_samples[self.host] = WeightedSnapshot(snapshot, 1)
-            self._aggregate_and_forward()
-        else:
-            self.endpoint.send_oneway(
-                Addr(manager, "na"),
-                M.REPORT_PARAMS,
-                Payload(data=(self.host, snapshot),
-                        nbytes=SAMPLE_WIRE_BYTES),
+            # Each monitoring tick (sample + manager exchange) is a span
+            # rooting its own small trace; idle/memory ride along so the
+            # js-top reconstruction can read them straight off the event.
+            span = tracer.begin_span(
+                ev.NAS_SAMPLE, ts=t0, host=self.host,
+                actor=f"na@{self.host}", parent=None,
+                idle=round(float(snapshot.get(SysParam.IDLE, 0.0)), 2),
+                avail_mem_mb=round(
+                    float(snapshot.get(SysParam.AVAIL_MEM, 0.0)), 1),
+                js_mem_mb=round(
+                    machine.js_mem_mb + machine.codebase_mem_mb, 3),
             )
+            tracer.count("nas.samples")
+        try:
+            manager = self.nas.cluster_manager_of(self.host)
+            if manager is None:
+                return
+            if manager == self.host:
+                self.member_samples[self.host] = WeightedSnapshot(snapshot, 1)
+                self._aggregate_and_forward()
+            else:
+                self.endpoint.send_oneway(
+                    Addr(manager, "na"),
+                    M.REPORT_PARAMS,
+                    Payload(data=(self.host, snapshot),
+                            nbytes=SAMPLE_WIRE_BYTES),
+                )
+        finally:
+            if span is not None:
+                tracer.end_span(span, ts=self.world.now())
 
     def _aggregate_and_forward(self) -> None:
         """Run the manager side of the aggregation cascade."""

@@ -20,7 +20,7 @@ from repro.errors import (
     MethodNotFoundError,
     ObjectStateError,
 )
-from repro.obs.events import OBJ_DISPATCH
+from repro.obs.events import LOCK_WAIT, OBJ_DISPATCH
 from repro.transport import Addr
 from repro.util.serialization import dumps, flops_of, loads, unwrap
 
@@ -264,6 +264,7 @@ class ObjectHolder:
         unknown handles — the caller-side AppOA interprets them.
         """
         kernel = self.world.kernel
+        wait_start = self.world.now()
         while True:
             entry = self.objects.get(obj_id)
             if entry is None:
@@ -279,6 +280,18 @@ class ObjectHolder:
             # then chase the tombstone.  With serial dispatch, invocations
             # also queue behind the currently executing method.
             kernel.sleep(0.001)
+        tracer = self.world.tracer
+        if tracer.enabled:
+            waited = self.world.now() - wait_start
+            if waited > 0.0:
+                # Holder-side queueing (serial dispatch / migration
+                # quiescing): the critical-path extractor charges this
+                # to lock time, not to the method itself.
+                tracer.emit_span(
+                    LOCK_WAIT, ts=wait_start, dur=waited,
+                    host=self.addr.host, actor=str(self.addr),
+                    obj_id=obj_id, method=method_name,
+                )
         args = tuple(params) if params is not None else ()
         method = getattr(entry.instance, method_name, None)
         if method is None or not callable(method):
@@ -290,6 +303,13 @@ class ObjectHolder:
         machine.counters.invocations_served += 1
         entry.invocations += 1
         dispatch_start = self.world.now()
+        dspan = None
+        if tracer.enabled:
+            # Installed: the compute charge below nests under dispatch.
+            dspan = tracer.begin_span(
+                OBJ_DISPATCH, ts=dispatch_start, host=self.addr.host,
+                actor=str(self.addr), obj_id=obj_id, method=method_name,
+            )
         flops = 0.0
         try:
             flops = flops_of(args) + method_flops(
@@ -300,14 +320,8 @@ class ObjectHolder:
             result = method(*unwrap(args))
         finally:
             entry.executing -= 1
-            tracer = self.world.tracer
-            if tracer.enabled:
-                tracer.emit(
-                    OBJ_DISPATCH, ts=dispatch_start, host=self.addr.host,
-                    actor=str(self.addr),
-                    dur=self.world.now() - dispatch_start,
-                    obj_id=obj_id, method=method_name, flops=flops,
-                )
+            if dspan is not None:
+                tracer.end_span(dspan, ts=self.world.now(), flops=flops)
                 tracer.count(f"dispatch:{self.addr.host}")
         # The instance may have grown (e.g. init() storing a matrix);
         # refresh the memory accounting.

@@ -99,3 +99,12 @@ class JSShell:
 
     def failure_events(self) -> list:
         return list(self.runtime.nas.events)
+
+    def top(self) -> str:
+        """One top-style frame over the cluster right now: per node, idle
+        %, JS memory, RPC/migration counters, in-flight spans and the
+        slowest open span (from the tracer, when tracing is on)."""
+        from repro.obs.top import live_frame, render_top_frame
+
+        self._note("top")
+        return render_top_frame(live_frame(self.runtime))

@@ -11,8 +11,13 @@ hook-point convention is: leave the ``with`` block first, then trace.
 Rule
 ----
 ``tracer-call-under-lock`` (warning)
-    ``*.emit(...)`` / ``*.count(...)`` / ``*.observe(...)`` on anything
-    named ``tracer`` lexically inside a ``with <lock>:`` block.
+    ``*.emit(...)`` / ``*.count(...)`` / ``*.observe(...)`` /
+    ``*.emit_span(...)`` / ``*.begin_span(...)`` / ``*.end_span(...)``
+    on anything named ``tracer`` lexically inside a ``with <lock>:``
+    block.  The span calls are covered too: ``begin_span`` mutates the
+    open-span registry and installs thread-local context, and
+    ``end_span`` re-enters ``emit`` — none of that belongs inside a
+    runtime critical section.
 
 Lock-ness is judged the same way as in
 :mod:`repro.analysis.lock_discipline`: the context expression's name
@@ -32,7 +37,9 @@ from repro.analysis.base import (
     Severity,
 )
 
-TRACER_METHODS = {"emit", "count", "observe"}
+TRACER_METHODS = {
+    "emit", "count", "observe", "emit_span", "begin_span", "end_span",
+}
 
 
 def _attr_chain(expr: ast.AST) -> list[str]:

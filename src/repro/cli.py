@@ -6,6 +6,8 @@
     python -m repro grid                      # show the wide-area grid
     python -m repro lint src/repro            # symlint static analysis
     python -m repro trace examples/quickstart.py --json trace.json
+    python -m repro spans matmul --critical-path   # span tree + hot chain
+    python -m repro top matmul                # per-node top-style frames
     python -m repro san matmul                # symsan concurrency sanitizer
 """
 
@@ -186,16 +188,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
+def _run_traced(args: argparse.Namespace):
+    """Run ``args.target`` (a script path or the 'matmul' builtin) under
+    a fresh ambient tracer and return the tracer, or None if the target
+    does not exist (an error was already printed)."""
     import os
     import runpy
 
-    from repro.obs import (
-        Tracer,
-        render_summary,
-        tracing,
-        write_chrome_trace,
-    )
+    from repro.obs import Tracer, tracing
 
     target = args.target
     with tracing(Tracer()) as tracer:
@@ -203,6 +203,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
             runtime = vienna_testbed(
                 TestbedConfig(load_profile=args.profile, seed=args.seed)
             )
+            period = getattr(args, "monitor_period", None)
+            if period:
+                runtime.nas.config.monitor_period = period
             runtime.run_app(
                 lambda: run_matmul(
                     MatmulConfig(n=args.n, nr_nodes=args.nodes,
@@ -216,12 +219,68 @@ def cmd_trace(args: argparse.Namespace) -> int:
         else:
             print(f"no such trace target {target!r}; expected a script "
                   "path or 'matmul'", file=sys.stderr)
-            return 2
+            return None
+    return tracer
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_summary, write_chrome_trace
+
+    tracer = _run_traced(args)
+    if tracer is None:
+        return 2
     if args.json:
         write_chrome_trace(tracer, args.json)
         print(f"wrote {len(tracer.events)} events to {args.json}")
     if not args.no_summary:
         print(render_summary(tracer))
+    return 0
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        critical_path,
+        render_critical_path,
+        render_span_tree,
+        spans_document,
+    )
+
+    tracer = _run_traced(args)
+    if tracer is None:
+        return 2
+    print(render_span_tree(tracer))
+    if args.critical_path:
+        cp = critical_path(tracer)
+        if cp is None:
+            print("no spans recorded; nothing to extract a critical "
+                  "path from", file=sys.stderr)
+            return 1
+        print()
+        print(render_critical_path(cp))
+    if args.json:
+        doc = spans_document(tracer, with_critical_path=args.critical_path)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+        print(f"wrote {doc['span_count']} spans to {args.json}")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import frames_from_trace, render_top
+
+    tracer = _run_traced(args)
+    if tracer is None:
+        return 2
+    frames = frames_from_trace(
+        tracer, period=args.period, max_frames=args.frames
+    )
+    if not frames:
+        print("no trace events recorded; nothing to show",
+              file=sys.stderr)
+        return 1
+    print(render_top(frames))
     return 0
 
 
@@ -352,6 +411,55 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["dedicated", "night", "day"])
     p_trace.add_argument("--seed", type=int, default=1)
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_spans = sub.add_parser(
+        "spans",
+        help="run a script or builtin traced; print the span tree and "
+             "optionally the critical path",
+    )
+    p_spans.add_argument(
+        "target",
+        help="path to an example/benchmark script, or 'matmul'",
+    )
+    p_spans.add_argument("--critical-path", action="store_true",
+                         help="extract and print the trace critical path")
+    p_spans.add_argument("--json", default=None, metavar="PATH",
+                         help="write the spans document (JSON) here")
+    p_spans.add_argument("--n", type=int, default=64,
+                         help="matmul: matrix dimension")
+    p_spans.add_argument("--nodes", type=int, default=4,
+                         help="matmul: node count")
+    p_spans.add_argument("--profile", default="night",
+                         choices=["dedicated", "night", "day"])
+    p_spans.add_argument("--seed", type=int, default=1)
+    p_spans.set_defaults(fn=cmd_spans)
+
+    p_top = sub.add_parser(
+        "top",
+        help="run a script or builtin traced; print top-style per-node "
+             "frames over simulated time",
+    )
+    p_top.add_argument(
+        "target",
+        help="path to an example/benchmark script, or 'matmul'",
+    )
+    p_top.add_argument("--period", type=float, default=None,
+                       help="frame period in simulated seconds "
+                            "(default: auto from the trace makespan)")
+    p_top.add_argument("--frames", type=int, default=60,
+                       help="maximum number of frames (default 60)")
+    p_top.add_argument("--monitor-period", type=float, default=0.02,
+                       help="matmul: NAS monitor period (s) so idle/mem "
+                            "samples land inside short runs; 0 keeps the "
+                            "testbed default")
+    p_top.add_argument("--n", type=int, default=64,
+                       help="matmul: matrix dimension")
+    p_top.add_argument("--nodes", type=int, default=4,
+                       help="matmul: node count")
+    p_top.add_argument("--profile", default="night",
+                       choices=["dedicated", "night", "day"])
+    p_top.add_argument("--seed", type=int, default=1)
+    p_top.set_defaults(fn=cmd_top)
 
     p_san = sub.add_parser(
         "san",

@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterable
 
 from repro import context
 from repro.agents.app_oa import AppOA
+from repro.obs import events as ev
 from repro.agents.nas import NASConfig, NetworkAgentSystem
 from repro.agents.pub_oa import PubOA
 from repro.agents.shell import JSShell, ShellConfig
@@ -126,6 +127,37 @@ class JSRuntime:
     def forget_app(self, app_id: str) -> None:
         self.apps.pop(app_id, None)
 
+    def _app_body(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        env: "context.Environment",
+        home: str,
+        name: str,
+    ) -> Callable[[], Any]:
+        """Build the process body for an application: ambient environment
+        plus (when tracing) an ``app`` root span that starts a fresh trace
+        and covers the whole run — every invocation/migration the app
+        triggers hangs off it, which is what makes the critical-path
+        extractor's "main trace" well-defined."""
+
+        def wrapped() -> Any:
+            tracer = self.world.tracer
+            span = None
+            if tracer.enabled:
+                span = tracer.begin_span(
+                    ev.APP, ts=self.world.now(), host=home, actor=name,
+                    parent=None, app=name,
+                )
+            try:
+                with context.scoped(env):
+                    return fn(*args)
+            finally:
+                if span is not None:
+                    tracer.end_span(span, ts=self.world.now())
+
+        return wrapped
+
     def run_app(
         self,
         fn: Callable[..., Any],
@@ -139,11 +171,7 @@ class JSRuntime:
         home = node if node is not None else self.nas.known_hosts()[0]
         env = context.Environment(pool=self.pool, runtime=self)
         env.extras["home"] = home
-
-        def wrapped() -> Any:
-            with context.scoped(env):
-                return fn(*args)
-
+        wrapped = self._app_body(fn, args, env, home, name)
         proc = self.kernel.spawn(wrapped, name=name, context={"env": env})
         self.kernel.run(main=proc)
         return proc.result()
@@ -162,11 +190,7 @@ class JSRuntime:
         home = node if node is not None else self.nas.known_hosts()[0]
         env = context.Environment(pool=self.pool, runtime=self)
         env.extras["home"] = home
-
-        def wrapped() -> Any:
-            with context.scoped(env):
-                return fn(*args)
-
+        wrapped = self._app_body(fn, args, env, home, name)
         return self.kernel.spawn(wrapped, name=name, context={"env": env})
 
     def run_apps(

@@ -25,6 +25,7 @@ from repro import context
 from repro.agents import messages as M
 from repro.agents.objects import ClassRegistry
 from repro.errors import CodebaseError
+from repro.obs.events import CLASSLOAD
 from repro.transport import Addr
 from repro.util.serialization import Payload
 from repro.varch.component import VAComponent
@@ -123,14 +124,30 @@ class JSCodebase:
             raise CodebaseError("codebase is empty; add classes first")
         app = self._app
         pairs = [(e.class_name, e.nbytes) for e in self._entries.values()]
-        for host in _resolve_hosts(component, app):
-            app.endpoint.rpc(
-                Addr(host, "oa"),
-                M.LOAD_CLASSES,
-                Payload(data=pairs, nbytes=self.total_bytes),
-                timeout=app.rpc_timeout,
+        hosts = _resolve_hosts(component, app)
+        world = app.runtime.world
+        tracer = world.tracer
+        span = None
+        if tracer.enabled:
+            # One span over the whole fan-out; the per-host transfers show
+            # up as child rpc.request spans.
+            span = tracer.begin_span(
+                CLASSLOAD, ts=world.now(), host=app.home,
+                actor=str(app.addr), classes=len(self._entries),
+                nbytes=self.total_bytes, hosts=len(hosts),
             )
-            self._loaded_hosts.add(host)
+        try:
+            for host in hosts:
+                app.endpoint.rpc(
+                    Addr(host, "oa"),
+                    M.LOAD_CLASSES,
+                    Payload(data=pairs, nbytes=self.total_bytes),
+                    timeout=app.rpc_timeout,
+                )
+                self._loaded_hosts.add(host)
+        finally:
+            if span is not None:
+                tracer.end_span(span, ts=world.now())
 
     def free(self) -> None:
         """Unload the codebase from every node it was loaded onto and

@@ -22,6 +22,7 @@ from repro.kernel.base import (
     ProcessState,
     Semaphore,
 )
+from repro.obs import spans as _spans
 from repro.obs.events import PROC_SPAWN
 from repro.sanitizer.core import current_sanitizer
 
@@ -47,6 +48,8 @@ class RealProcess(Process):
         self._state = ProcessState.NEW
         self._result: Any = None
         self._exc: BaseException | None = None
+        #: spawner's span context (installed before fn runs, when traced)
+        self._span_ctx = None
         self._done_evt = threading.Event()
         self._thread = threading.Thread(
             target=self._main, name=f"rproc-{pid}-{name}", daemon=True
@@ -68,6 +71,9 @@ class RealProcess(Process):
             # spawn edge: everything the spawner did happens-before us
             san.hb_recv(self)
         self._state = ProcessState.RUNNING
+        if self._span_ctx is not None:
+            # Async continuation: spans opened here chain to the spawner.
+            _spans.set_context(self._span_ctx)
         try:
             self._result = self._fn(*self._args)
             self._state = ProcessState.FINISHED
@@ -252,6 +258,7 @@ class RealKernel(Kernel):
             self.sanitizer.access("RealKernel", "processes", scope=self)
             self.processes.append(proc)
         if self.tracer.enabled:
+            proc._span_ctx = _spans.current_context()
             self.tracer.emit(PROC_SPAWN, ts=self.now() + delay,
                              actor=proc.name, pid=pid)
             self.tracer.count("proc.spawned")

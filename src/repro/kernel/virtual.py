@@ -29,6 +29,7 @@ from repro.kernel.base import (
     ProcessState,
     Semaphore,
 )
+from repro.obs import spans as _spans
 from repro.obs.events import PROC_SPAWN
 from repro.sanitizer.core import caller_site, current_sanitizer
 
@@ -66,6 +67,8 @@ class VirtualProcess(Process):
         #: why/where this process is currently blocked (wait-for dumps)
         self._wait_why: str | None = None
         self._wait_site: tuple[str, int] | None = None
+        #: spawner's span context (installed before fn runs, when traced)
+        self._span_ctx = None
         self.finished_future: VirtualFuture = VirtualFuture(kernel)
 
     # -- Process API -------------------------------------------------------
@@ -102,6 +105,9 @@ class VirtualProcess(Process):
             self._state = ProcessState.FAILED
             return
         self._state = ProcessState.RUNNING
+        if self._span_ctx is not None:
+            # Async continuation: spans opened here chain to the spawner.
+            _spans.set_context(self._span_ctx)
         san = self.kernel.sanitizer
         if san.enabled:
             san.register_thread(self.name)
@@ -404,6 +410,7 @@ class VirtualKernel(Kernel):
             # spawn edge: the child's first action happens-after this point
             self.sanitizer.hb_send(proc)
         if self.tracer.enabled:
+            proc._span_ctx = _spans.current_context()
             self.tracer.emit(PROC_SPAWN, ts=self._time + delay,
                              actor=proc.name, pid=pid)
             self.tracer.count("proc.spawned")

@@ -8,11 +8,23 @@ Usage::
         vienna_testbed().run_app(app)   # worlds adopt the ambient tracer
     print(render_summary(tracer))
 
-See :mod:`repro.obs.events` for the event schema and DESIGN.md for the
-hook-point map.
+Every invocation, migration, classload, persistence call and NAS
+exchange opens a *span* carrying a :class:`TraceContext` that is
+propagated across hosts and async continuations; see
+:mod:`repro.obs.spans` for the propagation rules,
+:mod:`repro.obs.critical_path` for the longest-causal-chain analysis and
+:mod:`repro.obs.top` for the js-top console.  :mod:`repro.obs.events`
+documents the event schema and DESIGN.md the hook-point map.
 """
 
 from repro.obs import events
+from repro.obs.critical_path import (
+    CriticalPath,
+    critical_path,
+    render_critical_path,
+    render_span_tree,
+    spans_document,
+)
 from repro.obs.events import TraceEvent
 from repro.obs.export import (
     render_summary,
@@ -20,6 +32,14 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.metrics import Histogram, Metrics
+from repro.obs.spans import OpenSpan, TraceContext, current_context
+from repro.obs.top import (
+    TopFrame,
+    frames_from_trace,
+    live_frame,
+    render_top,
+    render_top_frame,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -32,6 +52,9 @@ from repro.obs.tracer import (
 __all__ = [
     "events",
     "TraceEvent",
+    "TraceContext",
+    "OpenSpan",
+    "current_context",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -43,4 +66,14 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "render_summary",
+    "CriticalPath",
+    "critical_path",
+    "render_critical_path",
+    "render_span_tree",
+    "spans_document",
+    "TopFrame",
+    "frames_from_trace",
+    "live_frame",
+    "render_top",
+    "render_top_frame",
 ]

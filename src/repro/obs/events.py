@@ -22,29 +22,48 @@ Event types and their fields
     flops; host = executing machine
 ``obj.create`` / ``obj.free`` (instant)
     obj_id, class_name, location
-``obj.invoke`` (span, dur = caller-observed invocation time; instant for
-one-sided calls)
+``obj.invoke`` (span, dur = caller-observed invocation time; for
+one-sided calls dur covers only the local resolve-and-send)
     obj_id, method, mode (``sync`` | ``async`` | ``oneway``)
 ``obj.dispatch`` (span, dur = holder-side execution incl. compute charge)
     obj_id, method, flops
+``obj.wait`` (span, dur = time a ``ResultHandle.get_result`` blocked)
+    label; parent = the async ``obj.invoke`` span it waits for
+``lock.wait`` (span, dur = holder-side queueing before dispatch)
+    obj_id, method (serial dispatch / migration quiescing delay)
 ``obj.fetch_state`` (instant)
     obj_id, nbytes
 ``migrate`` (span, dur = full ao-side protocol time)
-    obj_id, src, dst
+    obj_id, src, dst, error
 ``migrate.step`` (instant; the Figure-3 sequence)
     obj_id, step (``out-start`` -> ``quiesced`` -> ``pushed`` ->
     ``tombstone`` on pa1; ``adopted`` on pa2)
-``nas.sample`` (instant)
-    host; one monitoring-loop tick
+``persist.store`` / ``persist.load`` (span)
+    obj_id / key; paper Section 4.7 persistence traffic
+``classload`` (span, dur = codebase distribution time)
+    classes, nbytes, hosts
+``app`` (span, dur = whole application run; the root of an app's trace)
+    app; actor = application process name
+``nas.sample`` (span, dur = one monitoring tick incl. report exchange)
+    host, idle, avail_mem_mb, js_mem_mb
 ``nas.probe`` (instant)
     peer, ok (heartbeat outcome)
 ``nas.release`` / ``nas.takeover`` (instant)
     the NAS fault-tolerance protocol firing
+``host.failed`` (instant)
+    a machine failing; open spans on it are force-closed with a
+    ``host_failed: True`` field (their events are kept, not lost)
+
+Spans additionally carry a :class:`repro.obs.spans.TraceContext` in
+``ctx`` (trace_id / span_id / parent_id); instants inherit the emitting
+process's current context so they can be located inside the span tree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.obs.spans import TraceContext
 
 RPC_REQUEST = "rpc.request"
 RPC_REPLY = "rpc.reply"
@@ -58,15 +77,24 @@ OBJ_CREATE = "obj.create"
 OBJ_FREE = "obj.free"
 OBJ_INVOKE = "obj.invoke"
 OBJ_DISPATCH = "obj.dispatch"
+OBJ_WAIT = "obj.wait"
+LOCK_WAIT = "lock.wait"
 OBJ_FETCH_STATE = "obj.fetch_state"
 
 MIGRATE = "migrate"
 MIGRATE_STEP = "migrate.step"
 
+PERSIST_STORE = "persist.store"
+PERSIST_LOAD = "persist.load"
+CLASSLOAD = "classload"
+APP = "app"
+
 NAS_SAMPLE = "nas.sample"
 NAS_PROBE = "nas.probe"
 NAS_RELEASE = "nas.release"
 NAS_TAKEOVER = "nas.takeover"
+
+HOST_FAILED = "host.failed"
 
 
 @dataclass
@@ -79,6 +107,7 @@ class TraceEvent:
     actor: str = ""                # agent / process name
     dur: float | None = None       # span duration in simulated seconds
     fields: dict = field(default_factory=dict)
+    ctx: TraceContext | None = None  # causal identity (spans always set it)
 
     @property
     def is_span(self) -> bool:

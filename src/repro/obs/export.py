@@ -3,8 +3,12 @@
 The Chrome format (load via ``chrome://tracing`` or https://ui.perfetto.dev)
 maps naturally: our spans become ``ph: "X"`` complete events, instants
 become ``ph: "i"``; hosts become pids and actors tids, so the timeline
-groups one swimlane per machine.  Simulated seconds are scaled to the
-format's microseconds.
+groups one swimlane per machine.  Spans carrying a
+:class:`~repro.obs.spans.TraceContext` export their ids in ``args``,
+and each cross-host ``rpc.request`` -> ``rpc.exec`` parent/child pair
+additionally becomes a flow-event arrow (``ph: "s"`` / ``ph: "f"``)
+between the two machines' swimlanes.  Simulated seconds are scaled to
+the format's microseconds.
 """
 
 from __future__ import annotations
@@ -57,15 +61,24 @@ def to_chrome_trace(tracer: Tracer) -> dict:
             })
         return tids[key]
 
+    #: span_id -> (event, pid, tid) for the cross-host flow pass
+    placed: dict[str, tuple[TraceEvent, int, int]] = {}
+
     for ev in tracer.events:
         pid = pid_of(ev.host)
+        tid = tid_of(pid, ev.actor)
+        args = dict(ev.fields)
+        if ev.ctx is not None:
+            args.update(ev.ctx.as_dict())
+            if ev.is_span:
+                placed[ev.ctx.span_id] = (ev, pid, tid)
         record = {
             "name": ev.etype,
             "cat": ev.etype.split(".", 1)[0],
             "pid": pid,
-            "tid": tid_of(pid, ev.actor),
+            "tid": tid,
             "ts": ev.ts * _US,
-            "args": dict(ev.fields),
+            "args": args,
         }
         if ev.is_span:
             record["ph"] = "X"
@@ -74,6 +87,26 @@ def to_chrome_trace(tracer: Tracer) -> dict:
             record["ph"] = "i"
             record["s"] = "t"
         out.append(record)
+
+    # Flow arrows: every child span on a different host than its parent
+    # (request -> exec across the wire, exec -> reply chains, ...).
+    flow_id = 0
+    for span_id, (child, cpid, ctid) in placed.items():
+        parent_id = child.ctx.parent_id if child.ctx else None
+        if parent_id is None or parent_id not in placed:
+            continue
+        parent, ppid, ptid = placed[parent_id]
+        if parent.host == child.host:
+            continue
+        flow_id += 1
+        out.append({
+            "name": "causal", "cat": "flow", "ph": "s", "id": flow_id,
+            "pid": ppid, "tid": ptid, "ts": parent.ts * _US,
+        })
+        out.append({
+            "name": "causal", "cat": "flow", "ph": "f", "bp": "e",
+            "id": flow_id, "pid": cpid, "tid": ctid, "ts": child.ts * _US,
+        })
 
     return {"traceEvents": out, "displayTimeUnit": "ms"}
 
@@ -94,7 +127,8 @@ def render_summary(tracer: Tracer) -> str:
     parts: list[str] = []
 
     rpc: dict[str, dict] = defaultdict(
-        lambda: {"n": 0, "bytes": 0, "lat": 0.0, "lat_max": 0.0}
+        lambda: {"n": 0, "bytes": 0, "lat": 0.0, "lat_max": 0.0,
+                 "p50": 0.0, "p95": 0.0, "p99": 0.0}
     )
     for ev in tracer.events_of(RPC_REQUEST):
         row = rpc[ev.fields.get("kind", "?")]
@@ -106,14 +140,19 @@ def render_summary(tracer: Tracer) -> str:
             row = rpc[name.split(":", 1)[1]]
             row["lat"] = hist["mean"]
             row["lat_max"] = hist["max"]
+            row["p50"] = hist["p50"]
+            row["p95"] = hist["p95"]
+            row["p99"] = hist["p99"]
     if rpc:
         rows = [
-            [kind, row["n"], row["bytes"],
-             _fmt_s(row["lat"]), _fmt_s(row["lat_max"])]
+            [kind, row["n"], row["bytes"], _fmt_s(row["lat"]),
+             _fmt_s(row["p50"]), _fmt_s(row["p95"]), _fmt_s(row["p99"]),
+             _fmt_s(row["lat_max"])]
             for kind, row in sorted(rpc.items(), key=lambda kv: -kv[1]["n"])
         ]
         parts.append(render_table(
-            ["kind", "requests", "req bytes", "mean rtt", "max rtt"],
+            ["kind", "requests", "req bytes", "mean rtt", "p50", "p95",
+             "p99", "max rtt"],
             rows, title="RPC traffic by kind",
         ))
 
@@ -178,8 +217,10 @@ def render_summary(tracer: Tracer) -> str:
         parts.append("(no events recorded)")
     span = [ev.ts for ev in tracer.events]
     if span:
+        dropped = getattr(tracer, "dropped_events", 0)
+        suffix = f" ({dropped} evicted by max_events)" if dropped else ""
         parts.insert(0, (
             f"trace: {len(tracer.events)} events over "
-            f"{_fmt_s(max(span) - min(span))} simulated"
+            f"{_fmt_s(max(span) - min(span))} simulated{suffix}"
         ))
     return "\n".join(parts)

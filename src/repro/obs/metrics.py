@@ -38,6 +38,45 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the log2 buckets.
+
+        The rank is located in bucket order; within the bucket the value
+        is linearly interpolated across the bucket's value range
+        [2^(i-1), 2^i), then clamped to the observed min/max — so the
+        estimate is exact at the extremes and at worst one bucket wide
+        (a factor of 2) in between.
+        """
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = q * self.count
+        seen = 0.0
+        for idx in sorted(self.buckets):
+            n = self.buckets[idx]
+            if seen + n >= rank:
+                lo = 0.0 if idx <= -1074 else math.ldexp(1.0, idx - 1)
+                hi = math.ldexp(1.0, idx)
+                estimate = lo + (rank - seen) / n * (hi - lo)
+                return min(max(estimate, self.min), self.max)
+            seen += n
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
@@ -45,6 +84,9 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
         }
 
 

@@ -1,17 +1,34 @@
 """The tracer: null by default, recording when installed.
 
 Hook points throughout the runtime hold a tracer reference and guard the
-expensive part (building a field dict) behind ``tracer.enabled``::
+expensive part (building a field dict, deriving a span context) behind
+``tracer.enabled``::
 
     if tracer.enabled:
-        tracer.emit(RPC_REQUEST, ts=now, host=src.host, ...)
+        span = tracer.begin_span(RPC_EXEC, ts=now, host=..., parent=ctx)
 
 :class:`NullTracer` keeps that check a single attribute load, so the
-instrumented runtime costs nothing measurable when tracing is off.
-:class:`Tracer` appends :class:`TraceEvent` records to a plain list
-(``list.append`` is atomic under the GIL, so the event path takes no
-lock — see DESIGN.md) and mirrors aggregates into a :class:`Metrics`
-registry.
+instrumented runtime costs nothing measurable when tracing is off — in
+particular, no :class:`~repro.obs.spans.TraceContext` is ever allocated.
+
+:class:`Tracer` appends :class:`TraceEvent` records to a deque (append
+is atomic under the GIL, so the uncapped event path takes no lock — see
+DESIGN.md), keeps a per-etype index so ``events_of`` is O(result) rather
+than an O(n) scan, and mirrors aggregates into a :class:`Metrics`
+registry.  With ``max_events`` set it becomes a ring buffer: the oldest
+event is evicted on overflow and ``dropped_events`` counts the loss
+(eviction mutates the deque, the index and the counter together, so only
+capped tracers pay for a lock).
+
+Spans come in two shapes:
+
+* ``emit_span`` — a span whose duration is already known (the transport
+  computes wire time up front); records immediately, returns the
+  :class:`TraceContext` so it can be propagated (e.g. onto a Message).
+* ``begin_span`` / ``end_span`` — a span covering a code region; while
+  open it is tracked in ``open_spans`` (the live-introspection source
+  for ``repro top``) and, by default, installed as the calling process's
+  current context so nested spans parent correctly.
 
 Installation is ambient: ``set_tracer()`` / the ``tracing()`` context
 manager set a module-level current tracer which ``SimWorld`` picks up at
@@ -21,11 +38,19 @@ the runtime explicitly.
 
 from __future__ import annotations
 
+import itertools
+import threading
+from collections import deque
 from contextlib import contextmanager
 from typing import Iterator
 
-from repro.obs.events import TraceEvent
+from repro.obs import spans as _spans
+from repro.obs.events import HOST_FAILED, TraceEvent
 from repro.obs.metrics import Metrics
+from repro.obs.spans import OpenSpan, TraceContext
+
+#: sentinel meaning "parent the span under the current thread context"
+_USE_CURRENT = object()
 
 
 class NullTracer:
@@ -34,13 +59,34 @@ class NullTracer:
     enabled = False
 
     def emit(self, etype: str, ts: float, host: str = "", actor: str = "",
-             dur: float | None = None, **fields) -> None:
+             dur: float | None = None, ctx: TraceContext | None = None,
+             **fields) -> None:
         pass
 
     def count(self, name: str, value: float = 1.0) -> None:
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    # -- span API (all no-ops; hook points never reach these when the
+    # -- ``tracer.enabled`` guard is respected) ------------------------------
+
+    def emit_span(self, etype: str, ts: float, dur: float = 0.0,
+                  host: str = "", actor: str = "", parent=_USE_CURRENT,
+                  **fields) -> TraceContext | None:
+        return None
+
+    def begin_span(self, etype: str, ts: float, host: str = "",
+                   actor: str = "", parent=_USE_CURRENT,
+                   install: bool = True, **fields) -> OpenSpan | None:
+        return None
+
+    def end_span(self, span: OpenSpan | None, ts: float,
+                 restore: bool = True, **fields) -> None:
+        pass
+
+    def host_failed(self, host: str, ts: float) -> None:
         pass
 
 
@@ -52,16 +98,60 @@ class Tracer(NullTracer):
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be positive (or None)")
+        self.events: deque[TraceEvent] = deque()
         self.metrics = Metrics()
+        self.max_events = max_events
+        self.dropped_events = 0
+        #: span_id -> OpenSpan for every begun-but-not-ended span
+        self.open_spans: dict[str, OpenSpan] = {}
+        self._by_etype: dict[str, deque[TraceEvent]] = {}
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._failed_hosts: set[str] = set()
+        # Ring eviction touches the deque, the index and the drop counter
+        # together; only capped tracers pay for the lock.
+        self._ring_lock = threading.Lock() if max_events else None
+
+    # -- recording -----------------------------------------------------------
 
     def emit(self, etype: str, ts: float, host: str = "", actor: str = "",
-             dur: float | None = None, **fields) -> None:
-        self.events.append(
-            TraceEvent(ts=ts, etype=etype, host=host, actor=actor,
-                       dur=dur, fields=fields)
-        )
+             dur: float | None = None, ctx: TraceContext | None = None,
+             **fields) -> None:
+        if ctx is None:
+            # Instants inherit the emitting process's current span, so
+            # they can be located inside the span tree.
+            ctx = _spans.current_context()
+        if self._failed_hosts and host in self._failed_hosts:
+            fields.setdefault("host_failed", True)
+        event = TraceEvent(ts=ts, etype=etype, host=host, actor=actor,
+                           dur=dur, fields=fields, ctx=ctx)
+        if self._ring_lock is None:
+            # justification: an uncapped tracer never evicts, so this
+            # instance takes no lock anywhere — appends are GIL-atomic.
+            self.events.append(event)  # symlint: disable=unguarded-write
+            self._index(etype).append(event)
+            return
+        with self._ring_lock:
+            if len(self.events) >= (self.max_events or 0):
+                evicted = self.events.popleft()
+                old_index = self._by_etype.get(evicted.etype)
+                if old_index:
+                    old_index.popleft()
+                self.dropped_events += 1
+            self.events.append(event)
+            self._index(etype).append(event)
+
+    def _index(self, etype: str) -> deque[TraceEvent]:
+        index = self._by_etype.get(etype)
+        if index is None:
+            # justification: called from emit, which is either lock-free
+            # (uncapped: GIL-atomic dict store) or already holds
+            # _ring_lock (capped path).
+            index = self._by_etype[etype] = deque()  # symlint: disable=unguarded-write
+        return index
 
     def count(self, name: str, value: float = 1.0) -> None:
         self.metrics.count(name, value)
@@ -70,7 +160,81 @@ class Tracer(NullTracer):
         self.metrics.observe(name, value)
 
     def events_of(self, etype: str) -> list[TraceEvent]:
-        return [ev for ev in self.events if ev.etype == etype]
+        return list(self._by_etype.get(etype, ()))
+
+    # -- spans ---------------------------------------------------------------
+
+    def new_context(self, parent: TraceContext | None) -> TraceContext:
+        """A fresh span context: child of ``parent``, or a new trace root."""
+        span_id = f"s{next(self._span_ids)}"
+        if parent is None:
+            return TraceContext(f"t{next(self._trace_ids)}", span_id, None)
+        return TraceContext(parent.trace_id, span_id, parent.span_id)
+
+    def emit_span(self, etype: str, ts: float, dur: float = 0.0,
+                  host: str = "", actor: str = "", parent=_USE_CURRENT,
+                  **fields) -> TraceContext:
+        """Record a span whose duration is already known; returns its
+        context so callers can propagate it (e.g. onto a Message)."""
+        parent_ctx = _spans.current_context() if parent is _USE_CURRENT \
+            else parent
+        ctx = self.new_context(parent_ctx)
+        self.emit(etype, ts=ts, host=host, actor=actor, dur=dur, ctx=ctx,
+                  **fields)
+        return ctx
+
+    def begin_span(self, etype: str, ts: float, host: str = "",
+                   actor: str = "", parent=_USE_CURRENT,
+                   install: bool = True, **fields) -> OpenSpan:
+        """Open a span covering a code region.  With ``install`` (the
+        default) it becomes the calling process's current context until
+        ``end_span``; pass ``install=False`` when opening on behalf of
+        another process (e.g. an async worker not yet running)."""
+        parent_ctx = _spans.current_context() if parent is _USE_CURRENT \
+            else parent
+        ctx = self.new_context(parent_ctx)
+        span = OpenSpan(ctx=ctx, etype=etype, ts=ts, host=host, actor=actor,
+                        fields=fields)
+        if install:
+            span.installed = True
+            span.prev = _spans.set_context(ctx)
+        self.open_spans[ctx.span_id] = span
+        return span
+
+    def end_span(self, span: OpenSpan | None, ts: float,
+                 restore: bool = True, **fields) -> None:
+        """Close ``span`` and record it.  ``restore=False`` keeps the
+        span's context installed (for tail work caused by the span, e.g.
+        the transport's reply leg).  Already-closed spans (force-closed
+        by a host failure) are ignored."""
+        if span is None or span.closed:
+            return
+        span.closed = True
+        self.open_spans.pop(span.ctx.span_id, None)
+        if span.installed and restore:
+            _spans.set_context(span.prev)
+        merged = span.fields
+        if fields:
+            merged = dict(merged)
+            merged.update(fields)
+        self.emit(span.etype, ts=span.ts, host=span.host, actor=span.actor,
+                  dur=max(0.0, ts - span.ts), ctx=span.ctx, **merged)
+
+    # -- failure semantics ---------------------------------------------------
+
+    def host_failed(self, host: str, ts: float) -> None:
+        """A machine died: force-close its open spans (marked with
+        ``host_failed: True`` — their events are kept, not lost) and mark
+        every later event on that host the same way."""
+        self._failed_hosts.add(host)
+        for span in [s for s in self.open_spans.values() if s.host == host]:
+            span.closed = True
+            self.open_spans.pop(span.ctx.span_id, None)
+            merged = dict(span.fields)
+            merged["host_failed"] = True
+            self.emit(span.etype, ts=span.ts, host=host, actor=span.actor,
+                      dur=max(0.0, ts - span.ts), ctx=span.ctx, **merged)
+        self.emit(HOST_FAILED, ts=ts, host=host)
 
 
 _current: NullTracer = NULL_TRACER

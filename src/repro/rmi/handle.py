@@ -4,6 +4,12 @@ Paper Section 4.5::
 
     ResultHandle hdl = obj.ainvoke("multiply", params);
     if (hdl.isReady()) { result = hdl.getResult(); }
+
+When tracing is on, the handle carries the async invocation span's
+:class:`~repro.obs.spans.TraceContext`, and a blocking ``get_result``
+records an ``obj.wait`` child span — the time the caller spent waiting
+on the reply shows up in the trace, parented under the invocation it
+waited for.
 """
 
 from __future__ import annotations
@@ -12,12 +18,19 @@ from typing import Any
 
 from repro.errors import RPCTimeoutError, WaitTimeout
 from repro.kernel.base import Future
+from repro.obs.events import OBJ_WAIT
+from repro.obs.spans import TraceContext
+from repro.obs.tracer import NULL_TRACER
 from repro.sanitizer.core import current_sanitizer
 
 
 class ResultHandle:
-    def __init__(self, future: Future) -> None:
+    def __init__(self, future: Future, ctx: TraceContext | None = None,
+                 label: str = "") -> None:
         self._future = future
+        #: the async obj.invoke span this handle resolves (None untraced)
+        self.ctx = ctx
+        self._label = label
         san = current_sanitizer()
         if san.enabled:
             kernel = getattr(future, "_kernel", None)
@@ -37,6 +50,17 @@ class ResultHandle:
         san = current_sanitizer()
         if san.enabled:
             san.handle_awaited(self)
+        kernel = getattr(self._future, "_kernel", None)
+        tracer = kernel.tracer if kernel is not None else NULL_TRACER
+        wait_span = None
+        if tracer.enabled and not self._future.done():
+            # The wait parents under the invocation span (self.ctx), not
+            # under the waiting process's own context: the trace answers
+            # "what was this result waiting on", not "who waited".
+            wait_span = tracer.begin_span(
+                OBJ_WAIT, ts=kernel.now(), parent=self.ctx,
+                actor=kernel.current_process_name(), label=self._label,
+            )
         try:
             return self._future.result(timeout)
         except WaitTimeout:
@@ -45,6 +69,9 @@ class ResultHandle:
             raise RPCTimeoutError(
                 f"async result not ready within {timeout} s"
             ) from None
+        finally:
+            if wait_span is not None:
+                tracer.end_span(wait_span, ts=kernel.now())
 
     # Paper-style aliases.
     isReady = is_ready

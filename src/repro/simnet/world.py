@@ -113,9 +113,9 @@ class SimWorld:
             machine.end_task()
         elapsed = self.now() - t0
         if self.tracer.enabled:
-            self.tracer.emit(ev.COMPUTE, ts=t0, host=host,
-                             actor=self.kernel.current_process_name(),
-                             dur=elapsed, flops=flops)
+            self.tracer.emit_span(ev.COMPUTE, ts=t0, host=host,
+                                  actor=self.kernel.current_process_name(),
+                                  dur=elapsed, flops=flops)
             self.tracer.count(f"compute.flops:{host}", flops)
         return elapsed
 
@@ -148,6 +148,10 @@ class SimWorld:
 
     def fail_host(self, name: str) -> None:
         self.machine(name).fail()
+        if self.tracer.enabled:
+            # Force-close the dead machine's open spans (marked, not
+            # lost) before listeners start reacting to the failure.
+            self.tracer.host_failed(name, self.now())
         for listener in list(self.failure_listeners):
             listener(name)
 

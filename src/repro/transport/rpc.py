@@ -31,6 +31,7 @@ from repro.errors import (
 )
 from repro.kernel.base import Future
 from repro.obs import events as ev
+from repro.obs.spans import TraceContext
 from repro.simnet.world import SimWorld
 from repro.util.ids import IdGenerator
 from repro.util.serialization import deep_copy_via_pickle, sizeof
@@ -55,6 +56,9 @@ class Message:
     payload: Any
     nbytes: int = 0
     sent_at: float = 0.0
+    #: the request span's context, carried across the wire so the
+    #: handler-side exec span joins the caller's trace
+    ctx: TraceContext | None = None
 
 
 @dataclass
@@ -262,7 +266,7 @@ class Transport:
             deliver_at = max(deliver_at, self._last_delivery.get(key, 0.0))
             self._last_delivery[key] = deliver_at
         if self.tracer.enabled:
-            self.tracer.emit(
+            msg.ctx = self.tracer.emit_span(
                 ev.RPC_REQUEST, ts=msg.sent_at, host=src.host,
                 actor=str(src), dur=deliver_at - msg.sent_at,
                 kind=kind, nbytes=nbytes, src=str(src), dst=str(dst),
@@ -300,6 +304,15 @@ class Transport:
         self, endpoint: Endpoint, msg: Message, reply_future: Future | None
     ) -> None:
         exec_start = self.world.now()
+        exec_span = None
+        if self.tracer.enabled:
+            # The handler process joins the sender's trace: the exec span
+            # parents under the request span carried on the message.
+            exec_span = self.tracer.begin_span(
+                ev.RPC_EXEC, ts=exec_start, host=msg.dst.host,
+                actor=str(msg.dst), parent=msg.ctx,
+                kind=msg.kind, msg_id=msg.msg_id,
+            )
         failed = False
         try:
             handler = endpoint.handler_for(msg.kind)
@@ -307,12 +320,11 @@ class Transport:
         except BaseException as exc:  # noqa: BLE001 - shipped to caller
             result = RemoteError(exc=exc, where=msg.dst)
             failed = True
-        if self.tracer.enabled:
-            self.tracer.emit(
-                ev.RPC_EXEC, ts=exec_start, host=msg.dst.host,
-                actor=str(msg.dst), dur=self.world.now() - exec_start,
-                kind=msg.kind, msg_id=msg.msg_id, error=failed,
-            )
+        if exec_span is not None:
+            # restore=False: the reply leg below (serialization compute,
+            # the reply span itself) is still caused by this handler.
+            self.tracer.end_span(exec_span, ts=self.world.now(),
+                                 restore=False, error=failed)
         if reply_future is None:
             return
         if self.copy_semantics:
@@ -339,7 +351,10 @@ class Transport:
             self._last_delivery[key] = deliver_at
         if self.tracer.enabled:
             t_reply = self.world.now()
-            self.tracer.emit(
+            # Current context is still the exec span (restore=False
+            # above), so the reply span is its child — every cross-host
+            # reply descends from the request that caused it.
+            self.tracer.emit_span(
                 ev.RPC_REPLY, ts=t_reply, host=msg.dst.host,
                 actor=str(msg.dst), dur=deliver_at - t_reply,
                 kind=reply_kind, nbytes=nbytes, src=str(msg.dst),
@@ -378,8 +393,8 @@ class Transport:
         if self.tracer.enabled:
             self.tracer.emit(
                 ev.RPC_DROP, ts=self.world.now(), host=msg.dst.host,
-                actor=str(msg.dst), kind=msg.kind, stage=stage,
-                reason=reason, msg_id=msg.msg_id,
+                actor=str(msg.dst), ctx=msg.ctx, kind=msg.kind,
+                stage=stage, reason=reason, msg_id=msg.msg_id,
             )
             self.tracer.count(f"rpc.dropped:{stage}")
 

@@ -19,6 +19,21 @@ class Holder:
             if key in self.items:
                 self.tracer.count("hits")  # <<COUNT_UNDER_LOCK>>
 
+    def span_bad(self, key, now):
+        with self._lock:
+            span = self.tracer.begin_span("obj.dispatch", ts=now, obj_id=key)  # <<SPAN_UNDER_LOCK>>
+        return span
+
+    def end_span_bad(self, span, now):
+        with self._lock:
+            self.items.pop(span, None)
+            self.tracer.end_span(span, ts=now)  # <<END_SPAN_UNDER_LOCK>>
+
+    def span_good(self, key, now):
+        with self._lock:
+            self.items[key] = now
+        return self.tracer.emit_span("obj.create", ts=now, obj_id=key)
+
     def store_good(self, key, value, now):
         with self._lock:
             self.items[key] = value

@@ -96,3 +96,49 @@ class TestTraceCommand:
     def test_trace_unknown_target_exits_2(self, capsys):
         assert main(["trace", "no/such/script.py"]) == 2
         assert "no such trace target" in capsys.readouterr().err
+
+
+class TestSpansCommand:
+    def test_spans_matmul_prints_tree_and_critical_path(self, capsys):
+        assert main(["spans", "matmul", "--n", "32", "--nodes", "3",
+                     "--profile", "dedicated",
+                     "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "app" in out
+        assert "rpc.request" in out
+        assert "Critical path" in out
+        assert "makespan" in out
+
+    def test_spans_json_document(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "spans.json"
+        assert main(["spans", "matmul", "--n", "32", "--nodes", "3",
+                     "--profile", "dedicated", "--critical-path",
+                     "--json", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["span_count"] == len(doc["spans"])
+        segs = doc["critical_path"]["segments"]
+        total = sum(s["dur"] for s in segs)
+        assert abs(total - doc["makespan"]) <= 0.01 * doc["makespan"]
+
+    def test_spans_unknown_target_exits_2(self, capsys):
+        assert main(["spans", "no/such/script.py"]) == 2
+        assert "no such trace target" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    def test_top_matmul_renders_frames(self, capsys):
+        assert main(["top", "matmul", "--n", "32", "--nodes", "3",
+                     "--profile", "dedicated", "--frames", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "js-top" in out
+        assert "in-flight" in out
+        assert "milena" in out
+        # NAS samples land inside the run (default --monitor-period),
+        # so the idle column is populated.
+        assert "%" in out
+
+    def test_top_unknown_target_exits_2(self, capsys):
+        assert main(["top", "no/such/script.py"]) == 2
+        assert "no such trace target" in capsys.readouterr().err

@@ -54,6 +54,75 @@ class TestTracerBasics:
             set_tracer(None)
         assert current_tracer() is NULL_TRACER
 
+    def test_nested_installs_restore_in_order(self):
+        outer, mid, inner = Tracer(), Tracer(), Tracer()
+        with tracing(outer):
+            with tracing(mid):
+                with tracing(inner):
+                    assert current_tracer() is inner
+                assert current_tracer() is mid
+            assert current_tracer() is outer
+        assert current_tracer() is NULL_TRACER
+
+    def test_reentrant_install_of_same_tracer(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with tracing(tracer) as again:
+                assert again is tracer
+                assert current_tracer() is tracer
+            # Inner exit restores the outer install of the same tracer.
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_tracing_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert current_tracer() is NULL_TRACER
+
+
+class TestRingBuffer:
+    def test_cap_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(max_events=3)
+        for i in range(5):
+            tracer.emit(ev.OBJ_CREATE, ts=float(i), host="h",
+                        obj_id=f"o{i}")
+        assert len(tracer.events) == 3
+        assert tracer.dropped_events == 2
+        assert [e.fields["obj_id"] for e in tracer.events] == [
+            "o2", "o3", "o4",
+        ]
+
+    def test_etype_index_tracks_eviction(self):
+        tracer = Tracer(max_events=2)
+        tracer.emit(ev.OBJ_CREATE, ts=0.0, obj_id="o1")
+        tracer.emit(ev.RPC_DROP, ts=1.0, kind="X")
+        tracer.emit(ev.OBJ_CREATE, ts=2.0, obj_id="o2")  # evicts o1
+        assert [e.fields["obj_id"]
+                for e in tracer.events_of(ev.OBJ_CREATE)] == ["o2"]
+        assert len(tracer.events_of(ev.RPC_DROP)) == 1
+        assert tracer.dropped_events == 1
+
+    def test_uncapped_tracer_never_drops(self):
+        tracer = Tracer()
+        for i in range(1000):
+            tracer.emit(ev.OBJ_CREATE, ts=float(i), obj_id=str(i))
+        assert len(tracer.events) == 1000
+        assert tracer.dropped_events == 0
+        assert len(tracer.events_of(ev.OBJ_CREATE)) == 1000
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+    def test_summary_reports_evictions(self):
+        from repro.obs import render_summary
+
+        tracer = Tracer(max_events=1)
+        tracer.emit(ev.OBJ_CREATE, ts=0.0, obj_id="o1")
+        tracer.emit(ev.OBJ_CREATE, ts=1.0, obj_id="o2")
+        assert "evicted by max_events" in render_summary(tracer)
+
 
 class TestMetrics:
     def test_counters(self):
@@ -71,6 +140,37 @@ class TestMetrics:
         assert h.min == 1.0 and h.max == 4.0
         assert h.mean == pytest.approx(7.0 / 3)
         assert sum(h.buckets.values()) == 3
+
+    def test_percentiles_from_log2_buckets(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        # Bucketed estimates: right bucket, interpolated within it.
+        assert h.p50 == pytest.approx(50.0, rel=0.5)
+        assert h.p95 == pytest.approx(95.0, rel=0.5)
+        assert h.p99 == pytest.approx(99.0, rel=0.5)
+        assert h.p50 <= h.p95 <= h.p99
+        # Estimates never leave the observed range.
+        assert 1.0 <= h.p50 and h.p99 <= 100.0
+
+    def test_percentile_edge_cases(self):
+        h = Histogram()
+        assert h.percentile(0.5) == 0.0  # empty
+        h.observe(3.0)
+        assert h.p50 == pytest.approx(3.0)
+        assert h.p99 == pytest.approx(3.0)
+        h2 = Histogram()
+        h2.observe(0.0)
+        h2.observe(0.0)
+        assert h2.p95 == 0.0
+
+    def test_snapshot_includes_percentiles(self):
+        m = Metrics()
+        for v in (1.0, 2.0, 4.0, 8.0):
+            m.observe("lat", v)
+        snap = m.snapshot()["histograms"]["lat"]
+        assert {"p50", "p95", "p99"} <= set(snap)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
 
     def test_snapshot_is_plain_data(self):
         m = Metrics()

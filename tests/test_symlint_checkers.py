@@ -205,6 +205,8 @@ def test_tracer_call_under_lock_flagged():
     assert {f.line for f in findings} == {
         marker_line("seeded_tracer_lock.py", "EMIT_UNDER_LOCK"),
         marker_line("seeded_tracer_lock.py", "COUNT_UNDER_LOCK"),
+        marker_line("seeded_tracer_lock.py", "SPAN_UNDER_LOCK"),
+        marker_line("seeded_tracer_lock.py", "END_SPAN_UNDER_LOCK"),
     }
     for finding in findings:
         assert finding.severity is Severity.WARNING
@@ -216,9 +218,11 @@ def test_tracer_outside_lock_and_nested_def_not_flagged():
     flagged_symbols = {
         f.symbol for f in by_rule(report, "tracer-call-under-lock")
     }
-    # store_good (after the with), deferred_ok (nested def) and
+    # store_good/span_good (after the with), deferred_ok (nested def) and
     # unrelated_observe_ok (histogram, not a tracer) must stay clean.
-    assert flagged_symbols == {"store_bad", "count_bad"}
+    assert flagged_symbols == {
+        "store_bad", "count_bad", "span_bad", "end_span_bad",
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +242,9 @@ EXPECTED_DIR_FINDINGS = {
     ("blocking-rpc-in-handler", "seeded_blocking.py", "RPC"),
     ("tracer-call-under-lock", "seeded_tracer_lock.py", "EMIT_UNDER_LOCK"),
     ("tracer-call-under-lock", "seeded_tracer_lock.py", "COUNT_UNDER_LOCK"),
+    ("tracer-call-under-lock", "seeded_tracer_lock.py", "SPAN_UNDER_LOCK"),
+    ("tracer-call-under-lock", "seeded_tracer_lock.py",
+     "END_SPAN_UNDER_LOCK"),
     ("rpc-under-lock", "seeded_rpc_under_lock.py", "RPC_UNDER_LOCK"),
     ("kernel-block-transitive", "seeded_kernel_block.py",
      "TRANSITIVE_SLEEP"),
