@@ -43,8 +43,11 @@ def producer() -> str:
     codebase.load("johanna")
 
     model = JSObj("RunningMean", "johanna")
+    # One-sided pushes: observe() returns nothing we need, and the
+    # per-object FIFO guarantees every sample lands before the
+    # synchronous mean() below reads the state.
     for value in [10.0, 20.0, 30.0]:
-        model.sinvoke("observe", [value])
+        model.oinvoke("observe", [value])
     print(f"  producer (home {reg.home_node}): "
           f"mean after 3 samples = {model.sinvoke('mean'):.1f}")
 

@@ -10,7 +10,11 @@ cannot enforce mechanically at run time:
   (``protocol``);
 * migration/serialization safety of remotely instantiable classes
   (``migration_safety``);
-* no blocking calls inside agent message handlers (``blocking``).
+* no blocking calls inside agent message handlers (``blocking``);
+* locality & communication cost — symloc's CFG/dataflow-backed rules
+  against chatty synchronous RMI, dropped handles, migration thrash and
+  per-iteration re-serialization (``locality``, on the reusable
+  :mod:`repro.analysis.cfg` + :mod:`repro.analysis.dataflow` engine).
 
 Run it as ``python -m repro lint [paths]`` or through
 :func:`analyze_paths`.
@@ -24,7 +28,10 @@ from repro.analysis.base import (
     Severity,
 )
 from repro.analysis.blocking import BlockingHandlerChecker
+from repro.analysis.cfg import CFG, Block, build_cfg, function_cfgs
+from repro.analysis.dataflow import Liveness, ReachingDefinitions
 from repro.analysis.lock_discipline import LockDisciplineChecker
+from repro.analysis.locality import LocalityChecker
 from repro.analysis.migration_safety import MigrationSafetyChecker
 from repro.analysis.protocol import ProtocolChecker
 from repro.analysis.runner import (
@@ -36,18 +43,25 @@ from repro.analysis.runner import (
 )
 
 __all__ = [
+    "Block",
     "BlockingHandlerChecker",
+    "CFG",
     "Checker",
     "Finding",
+    "Liveness",
+    "LocalityChecker",
     "LockDisciplineChecker",
     "MigrationSafetyChecker",
     "Module",
     "Project",
     "ProtocolChecker",
+    "ReachingDefinitions",
     "Report",
     "Severity",
     "analyze_paths",
+    "build_cfg",
     "default_checkers",
+    "function_cfgs",
     "render_json",
     "render_text",
 ]

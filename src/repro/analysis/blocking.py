@@ -20,6 +20,11 @@ Rules
 Handlers are methods named ``_h_*`` or ``_on_*``, plus any function
 referenced as the handler argument of ``endpoint.register(kind, fn)``.
 Only direct calls are flagged; nested function definitions are skipped.
+
+Call enumeration runs on the shared CFG engine
+(:mod:`repro.analysis.cfg`): the handler body is lowered to basic
+blocks and each block's statement-granular call sites are inspected —
+the same traversal symloc's locality rules use.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.analysis.base import (
     iter_methods,
     self_attr_name,
 )
+from repro.analysis.cfg import build_cfg, calls_in_stmt
 
 HANDLER_PREFIXES = ("_h_", "_on_")
 
@@ -65,16 +71,15 @@ def _is_handler(func: ast.FunctionDef, registered: set[str]) -> bool:
 
 
 def _direct_calls(func: ast.FunctionDef):
-    """Call nodes in the handler body, skipping nested defs/lambdas."""
-    stack: list[ast.AST] = list(func.body)
-    while stack:
-        node = stack.pop()
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.Lambda)):
-            continue
-        if isinstance(node, ast.Call):
-            yield node
-        stack.extend(ast.iter_child_nodes(node))
+    """Call nodes in the handler body, skipping nested defs/lambdas.
+
+    Enumerated via the CFG so blocking shares one notion of "executes
+    in this function" with the locality rules.
+    """
+    cfg = build_cfg(func)
+    for _block, _idx, stmt in cfg.statements():
+        for call, _comp_depth in calls_in_stmt(stmt):
+            yield call
 
 
 class BlockingHandlerChecker(Checker):

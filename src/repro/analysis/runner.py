@@ -10,6 +10,7 @@ from repro.analysis.base import Checker, Finding, Module, Project, Severity
 from repro.analysis.blocking import BlockingHandlerChecker
 from repro.analysis.interprocedural import InterproceduralChecker
 from repro.analysis.lock_discipline import LockDisciplineChecker
+from repro.analysis.locality import LocalityChecker
 from repro.analysis.migration_safety import MigrationSafetyChecker
 from repro.analysis.obs_discipline import ObsDisciplineChecker
 from repro.analysis.protocol import ProtocolChecker
@@ -25,6 +26,7 @@ def default_checkers() -> list[Checker]:
         BlockingHandlerChecker(),
         ObsDisciplineChecker(),
         InterproceduralChecker(),
+        LocalityChecker(),
     ]
 
 
@@ -35,11 +37,35 @@ def known_rules() -> dict[str, Severity]:
     return rules
 
 
+def rule_groups() -> dict[str, set[str]]:
+    """Checker name -> its rule ids, so ``--rules locality`` selects a
+    whole pass at once."""
+    return {c.name: set(c.rules) for c in default_checkers()}
+
+
+def expand_rules(tokens: set[str]) -> tuple[set[str], set[str]]:
+    """Expand group names in ``tokens``; returns (rules, unknown)."""
+    groups = rule_groups()
+    known = set(known_rules())
+    rules: set[str] = set()
+    unknown: set[str] = set()
+    for token in tokens:
+        if token in groups:
+            rules |= groups[token]
+        elif token in known:
+            rules.add(token)
+        else:
+            unknown.add(token)
+    return rules, unknown
+
+
 @dataclass
 class Report:
     findings: list[Finding] = field(default_factory=list)
     files: int = 0
     suppressed: int = 0
+    #: findings filtered out because they matched a ``--baseline`` file
+    baselined: int = 0
 
     def count(self, severity: Severity) -> int:
         return sum(1 for f in self.findings if f.severity is severity)
@@ -55,6 +81,7 @@ class Report:
             "summary": {
                 "files": self.files,
                 "suppressed": self.suppressed,
+                "baselined": self.baselined,
                 "error": self.count(Severity.ERROR),
                 "warning": self.count(Severity.WARNING),
                 "info": self.count(Severity.INFO),
@@ -154,8 +181,78 @@ def render_text(report: Report) -> str:
         f"{report.count(Severity.ERROR)} errors, "
         f"{report.count(Severity.WARNING)} warnings"
         + (f", {report.suppressed} suppressed" if report.suppressed else "")
+        + (f", {report.baselined} baselined" if report.baselined else "")
     )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# baselines: land new rules strict without blocking on existing findings
+# ---------------------------------------------------------------------------
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, str, str]:
+    """Identity of a finding for baseline matching.  Line and column are
+    deliberately excluded so unrelated edits shifting code do not churn
+    the baseline; rule + path + symbol + message pin the actual defect."""
+    return (finding.rule, finding.path, finding.symbol, finding.message)
+
+
+def write_baseline(report: Report, path: str) -> int:
+    """Persist the report's findings as a baseline file; returns the
+    number of entries written."""
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "symbol": f.symbol,
+            "message": f.message,
+        }
+        for f in report.findings
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "findings": entries}, fh, indent=2)
+        fh.write("\n")
+    return len(entries)
+
+
+def load_baseline(path: str) -> dict[tuple[str, str, str, str], int]:
+    """Baseline key -> how many findings it absorbs."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    counts: dict[tuple[str, str, str, str], int] = {}
+    for entry in doc.get("findings", []):
+        key = (
+            entry.get("rule", ""),
+            entry.get("path", ""),
+            entry.get("symbol", ""),
+            entry.get("message", ""),
+        )
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def apply_baseline(
+    report: Report, baseline: dict[tuple[str, str, str, str], int]
+) -> Report:
+    """Drop findings matched by ``baseline`` (each entry absorbs at most
+    its multiplicity); only genuinely new findings remain."""
+    remaining = dict(baseline)
+    kept: list[Finding] = []
+    baselined = 0
+    for finding in report.findings:
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            kept.append(finding)
+    return Report(
+        findings=kept,
+        files=report.files,
+        suppressed=report.suppressed,
+        baselined=report.baselined + baselined,
+    )
 
 
 def render_json(report: Report) -> str:
@@ -184,5 +281,6 @@ def render_github(report: Report) -> str:
         f"{report.count(Severity.ERROR)} errors, "
         f"{report.count(Severity.WARNING)} warnings"
         + (f", {report.suppressed} suppressed" if report.suppressed else "")
+        + (f", {report.baselined} baselined" if report.baselined else "")
     )
     return "\n".join(lines)

@@ -126,10 +126,15 @@ def run_jacobi(config: JacobiConfig) -> JacobiResult:
         rows_each = config.rows // config.strips
         strips = [JSObj("JacobiStrip", target) for target in targets]
         hosts = [s.get_node() for s in strips]
-        for strip in strips:
-            strip.sinvoke(
-                "init", [rows_each, config.cols, config.nominal]
-            )
+        # Initialise every strip concurrently: the per-strip state is
+        # independent, so one overlapped round per strip beats a chain
+        # of synchronous round-trips.
+        init_handles = [
+            s.ainvoke("init", [rows_each, config.cols, config.nominal])
+            for s in strips
+        ]
+        for handle in init_handles:
+            handle.get_result()
 
         t0 = kernel.now()
         residual = 0.0
@@ -140,18 +145,26 @@ def run_jacobi(config: JacobiConfig) -> JacobiResult:
             bottoms = [s.ainvoke("bottom_row") for s in strips]
             top_rows = [h.get_result() for h in tops]
             bottom_rows = [h.get_result() for h in bottoms]
+            ghosts = []
             for i, strip in enumerate(strips):
                 if i > 0:
-                    strip.sinvoke("set_ghost_top", [bottom_rows[i - 1]])
+                    ghosts.append(
+                        strip.ainvoke("set_ghost_top", [bottom_rows[i - 1]])
+                    )
                 if i < len(strips) - 1:
-                    strip.sinvoke("set_ghost_bottom", [top_rows[i + 1]])
+                    ghosts.append(
+                        strip.ainvoke("set_ghost_bottom", [top_rows[i + 1]])
+                    )
+            for handle in ghosts:
+                handle.get_result()
             sweeps = [s.ainvoke("sweep") for s in strips]
             residual = max(h.get_result() for h in sweeps)
         elapsed = kernel.now() - t0
 
         grid = None
         if not config.nominal:
-            parts = [s.sinvoke("interior") for s in strips]
+            part_handles = [s.ainvoke("interior") for s in strips]
+            parts = [h.get_result() for h in part_handles]
             grid = np.vstack(parts)
         return JacobiResult(
             hosts=hosts,

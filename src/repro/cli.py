@@ -151,11 +151,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
     import os
 
     from repro.analysis import analyze_paths, render_json, render_text
-    from repro.analysis.runner import known_rules, render_github
+    from repro.analysis.runner import (
+        apply_baseline,
+        expand_rules,
+        known_rules,
+        load_baseline,
+        render_github,
+        rule_groups,
+        write_baseline,
+    )
 
     if args.list_rules:
+        groups = rule_groups()
+        owner = {
+            rule: name for name, rules in groups.items() for rule in rules
+        }
         for rule, severity in sorted(known_rules().items()):
-            print(f"{rule:28s} {severity}")
+            checker = owner.get(rule, "runner")
+            print(f"{rule:32s} {str(severity):8s} [{checker}]")
         return 0
     paths = args.paths
     if not paths:
@@ -168,13 +181,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 2
     rules = None
     if args.rules:
-        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
-        unknown = rules - set(known_rules())
+        tokens = {r.strip() for r in args.rules.split(",") if r.strip()}
+        # A token may be a checker name ("locality") selecting that
+        # whole pass, or an individual rule id.
+        rules, unknown = expand_rules(tokens)
         if unknown:
             print(f"unknown rule(s): {', '.join(sorted(unknown))}",
                   file=sys.stderr)
             return 2
     report = analyze_paths(paths, rules=rules)
+    if args.baseline:
+        if not os.path.exists(args.baseline) or args.update_baseline:
+            count = write_baseline(report, args.baseline)
+            print(f"wrote baseline {args.baseline} ({count} findings); "
+                  "future runs fail only on new findings")
+            return 0
+        report = apply_baseline(report, load_baseline(args.baseline))
     if args.format == "json":
         print(render_json(report))
     elif args.format == "github":
@@ -384,9 +406,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--format", default="text",
                         choices=["text", "json", "github"])
     p_lint.add_argument("--rules", default=None,
-                        help="comma-separated rule ids to report")
+                        help="comma-separated rule ids or checker names "
+                             "(e.g. 'locality') to report")
     p_lint.add_argument("--strict", action="store_true",
                         help="exit non-zero on warnings too")
+    p_lint.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file: written if missing, "
+                             "otherwise known findings are filtered out "
+                             "and only new ones gate the exit code")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the --baseline file from this run")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print every rule id and severity, then exit")
     p_lint.set_defaults(fn=cmd_lint)

@@ -36,6 +36,10 @@ class ResultHandle:
             kernel = getattr(future, "_kernel", None)
             if kernel is not None:
                 san.track_handle(self, kernel)
+                # Leak-reporting responsibility transfers to the handle:
+                # a never-awaited handle is one logical leak, not also a
+                # never-completed future underneath it.
+                san.future_completed(future)
 
     def is_ready(self) -> bool:
         """Non-blocking availability test (paper: ``isReady``)."""

@@ -8,6 +8,13 @@ references to the kernels so a registry shared across kernels (the
 ambient sanitizer is process-global) never keeps a dead kernel alive;
 entries for collected kernels are pruned on the next ``collect``.
 
+The tracked future/handle itself is kept alive by its entry: entries are
+keyed by ``id()``, and a strong reference pins the object so CPython
+cannot recycle the address for a later future — an aliased id would
+silently overwrite an earlier leak's entry.  Entries are dropped on
+completion/await, so only genuine leaks are pinned, and only until the
+owning kernel's shutdown sweep.
+
 All methods run under the sanitizer's internal mutex.
 """
 
@@ -19,13 +26,13 @@ from typing import Any, Callable
 
 class LeakRegistry:
     def __init__(self) -> None:
-        #: id(future) -> (kernel weakref, creation site)
+        #: id(future) -> (future, kernel weakref, creation site)
         self._futures: dict[
-            int, tuple[weakref.ref, tuple[str, int]]
+            int, tuple[Any, weakref.ref, tuple[str, int]]
         ] = {}
-        #: id(handle) -> (kernel weakref, creation site)
+        #: id(handle) -> (handle, kernel weakref, creation site)
         self._handles: dict[
-            int, tuple[weakref.ref, tuple[str, int]]
+            int, tuple[Any, weakref.ref, tuple[str, int]]
         ] = {}
         #: waiting thread id -> (channel label, kernel weakref, wait site)
         self._chan_waits: dict[
@@ -36,14 +43,14 @@ class LeakRegistry:
 
     def track_future(self, fut: Any, kernel: Any,
                      site: tuple[str, int]) -> None:
-        self._futures[id(fut)] = (weakref.ref(kernel), site)
+        self._futures[id(fut)] = (fut, weakref.ref(kernel), site)
 
     def future_completed(self, fut: Any) -> None:
         self._futures.pop(id(fut), None)
 
     def track_handle(self, handle: Any, kernel: Any,
                      site: tuple[str, int]) -> None:
-        self._handles[id(handle)] = (weakref.ref(kernel), site)
+        self._handles[id(handle)] = (handle, weakref.ref(kernel), site)
 
     def handle_awaited(self, handle: Any) -> None:
         self._handles.pop(id(handle), None)
@@ -69,7 +76,7 @@ class LeakRegistry:
         """
         leaks: list[tuple[str, str, tuple[str, int], str]] = []
 
-        for key, (kernel_ref, site) in list(self._futures.items()):
+        for key, (_fut, kernel_ref, site) in list(self._futures.items()):
             owner = kernel_ref()
             if owner is None or owner is kernel:
                 del self._futures[key]
@@ -83,7 +90,7 @@ class LeakRegistry:
                         "future",
                     ))
 
-        for key, (kernel_ref, site) in list(self._handles.items()):
+        for key, (_handle, kernel_ref, site) in list(self._handles.items()):
             owner = kernel_ref()
             if owner is None or owner is kernel:
                 del self._handles[key]

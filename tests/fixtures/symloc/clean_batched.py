@@ -1,0 +1,44 @@
+"""Clean twin: the recommended locality idioms.  Must produce ZERO
+locality findings — every function here is a near-miss of a seeded
+pattern, written the way symloc's messages recommend.
+"""
+
+
+def batched_rounds(objs, items):
+    handles = [obj.ainvoke("work", [item]) for obj, item in zip(objs, items)]
+    return [handle.get_result() for handle in handles]
+
+
+def install_once(worker, chunks):
+    big = Payload(1_000_000)
+    worker.oinvoke("init", [big])
+    for chunk in chunks:
+        worker.oinvoke("multiply", [chunk])
+    return worker.sinvoke("collect")
+
+
+def local_receiver(items):
+    collector = JSObj("Collector", "local")
+    for item in items:
+        collector.sinvoke("add", [item])
+    return collector.sinvoke("merge")
+
+
+def place_then_loop(obj, node, items):
+    obj.migrate(node)
+    for item in items:
+        obj.oinvoke("feed", [item])
+    handle = obj.ainvoke("drain")
+    return handle.get_result()
+
+
+def prompt_use(obj):
+    value = obj.sinvoke("get")
+    return value + 1
+
+
+def ordered_updates(obj):
+    obj.sinvoke("reset")
+    obj.sinvoke("seed", [1])
+    obj.oinvoke("tick")
+    return obj.sinvoke("get")

@@ -1,0 +1,25 @@
+"""Fixture: sinvoke results not needed promptly (sync-invoke-async-opportunity).
+
+Liveness / use-distance backed: the discarded result, the distant first
+use, and the never-read result must each fire exactly once.
+"""
+
+
+def discarded_ping(obj, log):
+    obj.sinvoke("warm_cache")  # <<DISCARDED_RESULT>>
+    log.append("warmed")
+    log.append("continuing")
+    return log
+
+
+def distant_use(obj, items):
+    size = obj.sinvoke("size")  # <<DISTANT_FIRST_USE>>
+    prepared = [item * 2 for item in items]
+    count = len(prepared)
+    total = size + count
+    return total
+
+
+def never_used(obj):
+    status = obj.sinvoke("flush")  # <<NEVER_USED>>
+    return True

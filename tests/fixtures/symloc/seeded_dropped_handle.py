@@ -1,0 +1,11 @@
+"""Fixture: ainvoke handles that die unawaited (dropped-result-handle)."""
+
+
+def fire_and_forget_wrong(obj):
+    obj.ainvoke("update", [1])  # <<DROPPED_BARE>>
+    return obj.sinvoke("get")
+
+
+def leaked_handle(obj):
+    handle = obj.ainvoke("update", [2])  # <<DROPPED_DEAD>>
+    return obj.sinvoke("get")

@@ -1,0 +1,37 @@
+"""Fixture: synchronous remote calls inside loops (remote-invoke-in-loop).
+
+Each marked line must produce exactly one ``remote-invoke-in-loop``
+finding; the depth-2 site escalates to an error.
+"""
+
+
+def chatty_sum(objs):
+    total = 0
+    for obj in objs:
+        total += obj.sinvoke("get")  # <<SINVOKE_IN_LOOP>>
+    return total
+
+
+def ghost_exchange(grid):
+    for row in grid:
+        for cell in row:
+            cell.sinvoke("touch")  # <<SINVOKE_DEPTH2>>
+
+
+def chained_wait(obj, items):
+    out = []
+    for item in items:
+        out.append(obj.ainvoke("work", [item]).get_result())  # <<CHAINED_WAIT>>
+    return out
+
+
+def serialized_rounds(obj, items):
+    out = []
+    for item in items:
+        handle = obj.ainvoke("work", [item])
+        out.append(handle.get_result())  # <<IMMEDIATE_WAIT>>
+    return out
+
+
+def comprehension_fetch(objs):
+    return [o.sinvoke("get") for o in objs]  # <<SINVOKE_IN_COMP>>

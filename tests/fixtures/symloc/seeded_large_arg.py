@@ -1,0 +1,13 @@
+"""Fixture: a loop-invariant Payload re-serialized per call
+(large-arg-resend).
+
+``Payload`` is the wire-size idiom from repro.util.serialization; the
+rule keys on the constructor name, so the fixture needs no import.
+"""
+
+
+def resend_matrix(worker, chunks):
+    matrix = Payload(1_000_000)
+    for chunk in chunks:
+        worker.oinvoke("multiply", [matrix, chunk])  # <<LARGE_ARG_RESEND>>
+    return worker.sinvoke("collect")

@@ -1,0 +1,22 @@
+"""Fixture: migration thrash and missed co-location.
+
+``follow_the_data`` migrates per iteration (migrate-in-loop); because it
+*does* migrate, its receiver is exempt from the co-location hint.
+``poll_pair`` hits one loop-invariant object at two sites per iteration
+without ever placing it (repeated-remote-no-migration, reported once at
+the first site).
+"""
+
+
+def follow_the_data(obj, nodes):
+    for node in nodes:
+        obj.migrate(node)  # <<MIGRATE_IN_LOOP>>
+        obj.oinvoke("refresh")
+    return obj.sinvoke("report")
+
+
+def poll_pair(sensor, items):
+    for item in items:
+        sensor.oinvoke("mark", [item])  # <<REPEATED_REMOTE>>
+        sensor.oinvoke("log", [item])
+    return True

@@ -188,7 +188,7 @@ class TestHolderBehaviour:
             cb = JSCodebase(); cb.add(Counter); cb.load("johanna")
             before = machine.counters.objects_hosted
             obj = JSObj("Counter", "johanna")
-            obj.sinvoke("incr")
+            assert obj.sinvoke("incr") == 1
             assert machine.counters.objects_hosted == before + 1
             assert machine.counters.invocations_served >= 1
             obj.free()

@@ -106,8 +106,8 @@ class TestMigrationEdges:
             cb.load(["johanna", "theresa", "greta", "franz"])
             obj1 = JSObj("Counter", "johanna")
             obj2 = JSObj("Counter", "theresa")
-            obj1.sinvoke("incr", [1])
-            obj2.sinvoke("incr", [2])
+            assert obj1.sinvoke("incr", [1]) == 1
+            assert obj2.sinvoke("incr", [2]) == 2
 
             p1 = rt.world.kernel.spawn(lambda: obj1.migrate("greta"))
             p2 = rt.world.kernel.spawn(lambda: obj2.migrate("franz"))

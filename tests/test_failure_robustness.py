@@ -34,7 +34,7 @@ class TestMigrationUnderFailure:
             cb = JSCodebase(); cb.add(Counter)
             cb.load(["johanna", "greta"])
             obj = JSObj("Counter", "johanna")
-            obj.sinvoke("incr", [4])
+            assert obj.sinvoke("incr", [4]) == 4
             rt.world.fail_host("greta")
             with pytest.raises(
                 (RemoteInvocationError, RPCTimeoutError)
@@ -154,8 +154,11 @@ class TestFailureDuringInFlightInvocations:
             doomed = JSObj("Counter", "johanna")
             doomed.sinvoke("incr")
             rt.world.fail_host("johanna")
-            # The healthy object keeps working throughout.
+            # The healthy object keeps working throughout.  Each call is
+            # deliberately synchronous: the per-iteration reply is the
+            # liveness probe while johanna is down.
             for i in range(1, 6):
+                # symlint: disable-next-line=remote-invoke-in-loop
                 assert healthy.sinvoke("incr") == i
             reg.unregister()
 

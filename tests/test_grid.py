@@ -101,10 +101,10 @@ class TestGridApplications:
             remote_obj = JSObj("Echo", "adel")     # budapest
 
             t0 = kernel.now()
-            local_obj.sinvoke("echo", ["x"])
+            assert local_obj.sinvoke("echo", ["x"]) == "x"
             local_time = kernel.now() - t0
             t0 = kernel.now()
-            remote_obj.sinvoke("echo", ["x"])
+            assert remote_obj.sinvoke("echo", ["x"]) == "x"
             remote_time = kernel.now() - t0
             reg.unregister()
             return local_time, remote_time

@@ -124,7 +124,7 @@ class TestExplicitMigration:
             load_counter_on(["johanna", "ida"])
             obj = JSObj("Counter", "johanna")
             # Grow the object's nominal footprint to 2 MB.
-            obj.sinvoke("incr")
+            assert obj.sinvoke("incr") == 1
             rt.pub_oas["johanna"].objects[
                 obj.obj_id
             ].instance.__js_nbytes__ = 2_000_000
@@ -166,7 +166,7 @@ class TestRedirection:
             reg = JSRegistration()
             load_counter_on(["johanna", "greta", "ida"])
             obj = JSObj("Counter", "johanna")
-            obj.sinvoke("incr", [5])
+            assert obj.sinvoke("incr", [5]) == 5
             captured["ref"] = obj.ref
             captured["reg"] = reg
             captured["obj"] = obj
@@ -180,7 +180,10 @@ class TestRedirection:
             # Now the producer's object migrates twice.
             captured["obj"].migrate("greta")
             captured["obj"].migrate("ida")
-            # The consumer's cached location is doubly stale.
+            # The consumer's cached location is doubly stale.  The sync
+            # bounce must complete before get_node() can observe the
+            # refreshed location, so the call order is load-bearing.
+            # symlint: disable-next-line=sync-invoke-async-opportunity
             value = stale.sinvoke("incr")
             assert stale.get_node() == "ida"
             reg.unregister()
@@ -237,15 +240,17 @@ class TestAutomaticMigration:
             ]
             on_johanna = [o for o in objs if o.get_node() == "johanna"]
             assert on_johanna
-            for obj in objs:
-                obj.sinvoke("incr", [11])
+            incr_handles = [o.ainvoke("incr", [11]) for o in objs]
+            for handle in incr_handles:
+                assert handle.get_result() == 11
             # Let the spike hit and the watch loop react.
             rt.world.kernel.sleep(60.0)
             moved = [o for o in on_johanna if o.get_node() != "johanna"]
             assert moved, "auto-migration did not move objects away"
             # State survived the automatic migration.
-            for obj in objs:
-                assert obj.sinvoke("get") == 11
+            get_handles = [o.ainvoke("get") for o in objs]
+            for handle in get_handles:
+                assert handle.get_result() == 11
             reg.unregister()
 
         rt.run_app(app)

@@ -166,7 +166,7 @@ class TestFailureDetection:
             reg = JSRegistration()
             cb = JSCodebase(); cb.add(Counter); cb.load("greta")
             obj = JSObj("Counter", "greta")
-            obj.sinvoke("incr", [1])
+            assert obj.sinvoke("incr", [1]) == 1
             holder["obj"] = obj
             holder["reg"] = reg
 

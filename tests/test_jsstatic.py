@@ -48,7 +48,7 @@ class TestJSStatic:
             load_registry(["johanna"])
             a = JSStatic("Registry", "johanna")
             b = JSStatic("Registry", "johanna")
-            a.sinvoke("bump")
+            assert a.sinvoke("bump") == 1
             # b sees a's effect: same static segment.
             assert b.sinvoke("bump") == 2
             reg.unregister()
@@ -64,7 +64,7 @@ class TestJSStatic:
             on_johanna = JSStatic("Registry", "johanna")
             on_greta = JSStatic("Registry", "greta")
             on_johanna.sinvoke("bump")
-            on_johanna.sinvoke("bump")
+            assert on_johanna.sinvoke("bump") == 2
             assert on_greta.sinvoke("bump") == 1  # untouched by johanna
             reg.unregister()
 

@@ -17,7 +17,8 @@ class TestConcurrentApps:
                 reg = JSRegistration()
                 cb = JSCodebase(); cb.add(Spinner); cb.load(host)
                 obj = JSObj("Spinner", host)
-                obj.sinvoke("spin", [42e6])  # ~1 s on an Ultra10/300
+                # ~1 s on an Ultra10/300
+                assert obj.sinvoke("spin", [42e6]) == "done"
                 timeline[tag] = rt.world.now()
                 reg.unregister()
                 return tag
@@ -68,7 +69,7 @@ class TestConcurrentApps:
             cb = JSCodebase(); cb.add(Counter)
             cb.load(["johanna", "greta"])
             obj = JSObj("Counter", "johanna")
-            obj.sinvoke("incr", [5])
+            assert obj.sinvoke("incr", [5]) == 5
             shared["ref"] = obj.ref
             rt.world.kernel.sleep(2.0)   # let the consumer hit it
             obj.migrate("greta")
@@ -82,6 +83,9 @@ class TestConcurrentApps:
             while "ref" not in shared:
                 rt.world.kernel.sleep(0.1)
             stale = JSObj._from_ref(shared["ref"], reg.app)
+            # The first hit must land at johanna *before* the producer
+            # migrates; its timing, not its value, is what's under test.
+            # symlint: disable-next-line=sync-invoke-async-opportunity
             first = stale.sinvoke("incr")     # at johanna
             rt.world.kernel.sleep(4.0)
             second = stale.sinvoke("incr")    # redirected to greta

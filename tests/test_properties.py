@@ -175,11 +175,16 @@ class TestMigrationInvariant:
             cb = JSCodebase(); cb.add(Counter); cb.load(hosts)
             obj = JSObj("Counter", hosts[0])
             expected = 0
+            # The randomized op sequence deliberately interleaves
+            # migrations and synchronous invocations — exercising the
+            # worst-case traffic pattern is the property under test.
             for op, arg in ops:
                 if op == "migrate":
+                    # symlint: disable-next-line=migrate-in-loop
                     obj.migrate(hosts[arg % len(hosts)])
                 elif op == "invoke":
                     expected += arg
+                    # symlint: disable-next-line=remote-invoke-in-loop
                     obj.sinvoke("incr", [arg])
                 else:
                     obj.store()

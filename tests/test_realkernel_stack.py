@@ -75,10 +75,11 @@ class TestRealKernelStack:
             cb = JSCodebase(); cb.add(Counter)
             cb.load(["johanna", "greta"])
             obj = JSObj("Counter", "johanna")
-            obj.sinvoke("incr", [9])
+            assert obj.sinvoke("incr", [9]) == 9
             obj.migrate("greta")
-            value = obj.sinvoke("get")
+            handle = obj.ainvoke("get")
             host = obj.get_node()
+            value = handle.get_result()
             reg.unregister()
             return value, host
 

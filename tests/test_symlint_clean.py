@@ -11,11 +11,17 @@ from __future__ import annotations
 import json
 import os
 
+import glob
+
 import repro
 from repro.analysis import Severity, analyze_paths, render_json
+from repro.analysis.runner import rule_groups
 from repro.cli import main as cli_main
 
 PACKAGE_DIR = os.path.dirname(os.path.abspath(repro.__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+TESTS_DIR = os.path.join(REPO_ROOT, "tests")
 
 
 def test_runtime_has_zero_error_findings():
@@ -42,6 +48,20 @@ def test_known_suppressions_are_counted():
     # are the only sanctioned suppressions.
     report = analyze_paths([PACKAGE_DIR])
     assert report.suppressed == 5
+
+
+def test_locality_gate_repo_wide():
+    """symloc runs clean — zero findings at every severity, INFO
+    included — over the runtime, the examples and the test suite.
+    Fixture directories are excluded: they are the seeded-bug corpus
+    and *must* fire.  Every legitimate pattern is either written the
+    recommended way or carries a justified suppression."""
+    test_files = sorted(glob.glob(os.path.join(TESTS_DIR, "*.py")))
+    paths = [PACKAGE_DIR, EXAMPLES_DIR] + test_files
+    report = analyze_paths(paths, rules=rule_groups()["locality"])
+    assert report.findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule}: {f.message}" for f in report.findings
+    )
 
 
 def test_cli_lint_default_paths_exits_zero(capsys):

@@ -1,0 +1,321 @@
+"""symloc finds exactly the locality defects seeded in its fixtures.
+
+Mirrors the symlint convention: fixture files under
+``tests/fixtures/symloc/`` carry ``# <<MARKER>>`` comments on the seeded
+lines, and ``clean_batched.py`` is the near-miss twin that must stay
+silent.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Severity, analyze_paths
+from repro.analysis.runner import (
+    apply_baseline,
+    baseline_key,
+    expand_rules,
+    load_baseline,
+    rule_groups,
+    write_baseline,
+)
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "symloc"
+LOCALITY_RULES = rule_groups()["locality"]
+
+
+def marker_line(fixture: str, marker: str) -> int:
+    text = (FIXTURES / fixture).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if f"<<{marker}>>" in line:
+            return lineno
+    raise AssertionError(f"marker {marker} not found in {fixture}")
+
+
+def run(*fixtures: str):
+    return analyze_paths(
+        [str(FIXTURES / f) for f in fixtures], rules=LOCALITY_RULES
+    )
+
+
+def by_rule(report, rule: str):
+    return [f for f in report.findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# remote-invoke-in-loop
+# ---------------------------------------------------------------------------
+
+
+def test_every_in_loop_variant_detected():
+    report = run("seeded_invoke_in_loop.py")
+    hits = by_rule(report, "remote-invoke-in-loop")
+    assert {f.line for f in hits} == {
+        marker_line("seeded_invoke_in_loop.py", m)
+        for m in ("SINVOKE_IN_LOOP", "SINVOKE_DEPTH2", "CHAINED_WAIT",
+                  "IMMEDIATE_WAIT", "SINVOKE_IN_COMP")
+    }
+    assert len(hits) == 5
+    # no other locality rule fires on this fixture
+    assert len(report.findings) == 5
+
+
+def test_depth_two_escalates_to_error():
+    report = run("seeded_invoke_in_loop.py")
+    deep = [
+        f for f in by_rule(report, "remote-invoke-in-loop")
+        if f.line == marker_line("seeded_invoke_in_loop.py",
+                                 "SINVOKE_DEPTH2")
+    ]
+    assert len(deep) == 1
+    assert deep[0].severity is Severity.ERROR
+    assert "depth 2" in deep[0].message
+    shallow = [
+        f for f in by_rule(report, "remote-invoke-in-loop")
+        if f.line == marker_line("seeded_invoke_in_loop.py",
+                                 "SINVOKE_IN_LOOP")
+    ]
+    assert shallow[0].severity is Severity.WARNING
+
+
+def test_chained_and_immediate_waits_name_the_disguise():
+    report = run("seeded_invoke_in_loop.py")
+    chained = [
+        f for f in report.findings
+        if f.line == marker_line("seeded_invoke_in_loop.py",
+                                 "CHAINED_WAIT")
+    ][0]
+    assert "in disguise" in chained.message
+    immediate = [
+        f for f in report.findings
+        if f.line == marker_line("seeded_invoke_in_loop.py",
+                                 "IMMEDIATE_WAIT")
+    ][0]
+    assert "immediately after" in immediate.message
+
+
+# ---------------------------------------------------------------------------
+# sync-invoke-async-opportunity
+# ---------------------------------------------------------------------------
+
+
+def test_overlap_opportunities_detected():
+    report = run("seeded_async_opportunity.py")
+    hits = by_rule(report, "sync-invoke-async-opportunity")
+    assert {f.line for f in hits} == {
+        marker_line("seeded_async_opportunity.py", m)
+        for m in ("DISCARDED_RESULT", "DISTANT_FIRST_USE", "NEVER_USED")
+    }
+    assert all(f.severity is Severity.INFO for f in hits)
+    assert len(report.findings) == 3
+
+
+def test_never_used_message_cites_liveness():
+    report = run("seeded_async_opportunity.py")
+    never = [
+        f for f in report.findings
+        if f.line == marker_line("seeded_async_opportunity.py",
+                                 "NEVER_USED")
+    ][0]
+    assert "never read" in never.message
+
+
+# ---------------------------------------------------------------------------
+# dropped-result-handle
+# ---------------------------------------------------------------------------
+
+
+def test_dropped_handles_detected():
+    report = run("seeded_dropped_handle.py")
+    hits = by_rule(report, "dropped-result-handle")
+    assert {f.line for f in hits} == {
+        marker_line("seeded_dropped_handle.py", m)
+        for m in ("DROPPED_BARE", "DROPPED_DEAD")
+    }
+    assert len(report.findings) == 2
+
+
+# ---------------------------------------------------------------------------
+# migrate-in-loop / repeated-remote-no-migration
+# ---------------------------------------------------------------------------
+
+
+def test_migration_thrash_and_missed_colocation():
+    report = run("seeded_migrate_thrash.py")
+    thrash = by_rule(report, "migrate-in-loop")
+    assert [f.line for f in thrash] == [
+        marker_line("seeded_migrate_thrash.py", "MIGRATE_IN_LOOP")
+    ]
+    repeated = by_rule(report, "repeated-remote-no-migration")
+    assert [f.line for f in repeated] == [
+        marker_line("seeded_migrate_thrash.py", "REPEATED_REMOTE")
+    ]
+    assert repeated[0].symbol == "sensor"
+    # the migrating receiver is exempt from the co-location hint
+    assert all(f.symbol != "obj" for f in repeated)
+
+
+# ---------------------------------------------------------------------------
+# large-arg-resend
+# ---------------------------------------------------------------------------
+
+
+def test_loop_invariant_payload_resend_detected():
+    report = run("seeded_large_arg.py")
+    hits = by_rule(report, "large-arg-resend")
+    assert [f.line for f in hits] == [
+        marker_line("seeded_large_arg.py", "LARGE_ARG_RESEND")
+    ]
+    assert "matmul" in hits[0].message
+    assert len(report.findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# the clean twin and suppression
+# ---------------------------------------------------------------------------
+
+
+def test_clean_twin_is_silent():
+    report = run("clean_batched.py")
+    assert report.findings == [], "\n".join(
+        f"{f.line}: {f.rule}: {f.message}" for f in report.findings
+    )
+
+
+def test_pragma_suppresses_locality_finding(tmp_path):
+    src = textwrap.dedent("""
+        def f(objs):
+            for obj in objs:
+                obj.sinvoke("get")  # symlint: disable=remote-invoke-in-loop
+    """)
+    path = tmp_path / "suppressed_loop.py"
+    path.write_text(src)
+    report = analyze_paths([str(path)], rules=LOCALITY_RULES)
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# rule groups and the CLI
+# ---------------------------------------------------------------------------
+
+
+def test_rule_group_expansion():
+    rules, unknown = expand_rules({"locality"})
+    assert rules == LOCALITY_RULES
+    assert unknown == set()
+    rules, unknown = expand_rules({"locality", "no-such-rule"})
+    assert unknown == {"no-such-rule"}
+
+
+def test_cli_rules_locality_reports_all_rules(capsys):
+    # the acceptance invocation: every symloc rule shows up on the
+    # seeded fixtures, and the depth-2 error gates the exit code
+    assert cli_main(["lint", str(FIXTURES), "--rules", "locality"]) == 1
+    out = capsys.readouterr().out
+    for rule in ("remote-invoke-in-loop", "sync-invoke-async-opportunity",
+                 "dropped-result-handle", "migrate-in-loop",
+                 "repeated-remote-no-migration", "large-arg-resend"):
+        assert rule in out, f"{rule} missing from CLI output"
+
+
+def test_cli_rejects_unknown_group(capsys):
+    assert cli_main(["lint", str(FIXTURES), "--rules", "no-such"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules_shows_checker_names(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "remote-invoke-in-loop" in out
+    assert "[locality]" in out
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_roundtrip_absorbs_known_findings(tmp_path):
+    report = run("seeded_async_opportunity.py")
+    assert len(report.findings) == 3
+    baseline_path = tmp_path / "baseline.json"
+    assert write_baseline(report, str(baseline_path)) == 3
+    baseline = load_baseline(str(baseline_path))
+    filtered = apply_baseline(report, baseline)
+    assert filtered.findings == []
+    assert filtered.baselined == 3
+
+
+def test_baseline_keys_ignore_line_motion():
+    report = run("seeded_async_opportunity.py")
+    f = report.findings[0]
+    moved = type(f)(
+        rule=f.rule, severity=f.severity, path=f.path,
+        line=f.line + 40, col=0, message=f.message, symbol=f.symbol,
+    )
+    assert baseline_key(f) == baseline_key(moved)
+
+
+def test_baseline_multiplicity_only_absorbs_counted(tmp_path):
+    report = run("seeded_dropped_handle.py")
+    # keep only one of the two identical-rule findings in the baseline
+    trimmed = type(report)(findings=report.findings[:1],
+                           files=report.files)
+    path = tmp_path / "baseline.json"
+    write_baseline(trimmed, str(path))
+    filtered = apply_baseline(report, load_baseline(str(path)))
+    assert filtered.baselined == 1
+    assert len(filtered.findings) == 1
+
+
+def test_cli_baseline_write_then_gate(tmp_path, capsys):
+    baseline = tmp_path / "locality-baseline.json"
+    fixture = str(FIXTURES / "seeded_async_opportunity.py")
+    # first run writes the baseline and exits clean
+    assert cli_main([
+        "lint", fixture, "--rules", "locality",
+        "--baseline", str(baseline),
+    ]) == 0
+    assert "wrote baseline" in capsys.readouterr().out
+    doc = json.loads(baseline.read_text())
+    assert len(doc["findings"]) == 3
+    # second run: everything known is absorbed, even under --strict
+    assert cli_main([
+        "lint", fixture, "--rules", "locality",
+        "--baseline", str(baseline), "--strict",
+    ]) == 0
+    assert "3 baselined" in capsys.readouterr().out
+    # a file with *new* findings still gates
+    other = str(FIXTURES / "seeded_dropped_handle.py")
+    assert cli_main([
+        "lint", fixture, other, "--rules", "locality",
+        "--baseline", str(baseline), "--strict",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "dropped-result-handle" in out
+
+
+def test_cli_update_baseline_rewrites(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    fixture = str(FIXTURES / "seeded_async_opportunity.py")
+    other = str(FIXTURES / "seeded_dropped_handle.py")
+    assert cli_main([
+        "lint", fixture, "--rules", "locality",
+        "--baseline", str(baseline),
+    ]) == 0
+    capsys.readouterr()
+    assert cli_main([
+        "lint", fixture, other, "--rules", "locality",
+        "--baseline", str(baseline), "--update-baseline",
+    ]) == 0
+    capsys.readouterr()
+    doc = json.loads(baseline.read_text())
+    assert len(doc["findings"]) == 5
+    assert cli_main([
+        "lint", fixture, other, "--rules", "locality",
+        "--baseline", str(baseline), "--strict",
+    ]) == 0
