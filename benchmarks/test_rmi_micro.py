@@ -134,6 +134,75 @@ def test_payload_size_sweep(benchmark):
     assert slow_1mb > 5 * fast_1mb
 
 
+def test_batched_vs_scalar(benchmark):
+    """The minvoke tentpole, measured: one INVOKE_BATCH per destination
+    must beat N scalar ainvokes on both message count and simulated
+    makespan for the same call set."""
+    calls = 32
+    result = {}
+
+    def run():
+        runtime = fresh_testbed("dedicated", seed=3)
+        stats = runtime.transport.stats
+
+        def app():
+            from repro import context
+
+            kernel = context.require().runtime.world.kernel
+            reg = JSRegistration()
+            cb = JSCodebase(); cb.add(Pong); cb.load("rachel")
+            obj = JSObj("Pong", "rachel")
+            obj.sinvoke("ping")  # warm the path
+
+            m0 = stats.messages
+            t0 = kernel.now()
+            handles = [obj.ainvoke("ping") for _ in range(calls)]
+            for handle in handles:
+                handle.get_result()
+            result["scalar-time"] = kernel.now() - t0
+            result["scalar-msgs"] = stats.messages - m0
+
+            m0 = stats.messages
+            t0 = kernel.now()
+            obj.minvoke("ping", [None] * calls).get_results()
+            result["batched-time"] = kernel.now() - t0
+            result["batched-msgs"] = stats.messages - m0
+
+            m0 = stats.messages
+            t0 = kernel.now()
+            with reg.app.coalescing(max_batch=calls):
+                handles = [obj.ainvoke("ping") for _ in range(calls)]
+            for handle in handles:
+                handle.get_result()
+            result["coalesced-time"] = kernel.now() - t0
+            result["coalesced-msgs"] = stats.messages - m0
+
+            reg.unregister()
+
+        runtime.run_app(app, node="milena")
+        attach_metrics(benchmark, runtime)
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["strategy", f"sim seconds for {calls} calls", "messages"],
+        [
+            [name, round(result[f"{name}-time"], 4),
+             result[f"{name}-msgs"]]
+            for name in ("scalar", "batched", "coalesced")
+        ],
+        title="Ext-A | batched (minvoke) vs scalar RMI, master->rachel",
+    ))
+    benchmark.extra_info.update({
+        k: round(v, 5) if isinstance(v, float) else v
+        for k, v in result.items()
+    })
+    assert result["batched-msgs"] < result["scalar-msgs"]
+    assert result["batched-time"] < result["scalar-time"]
+    assert result["coalesced-msgs"] < result["scalar-msgs"]
+
+
 def test_async_overlaps_local_work(benchmark):
     """The paper's motivation for ainvoke: overlap remote waiting with
     useful local computation."""

@@ -44,7 +44,7 @@ from repro.core import (
 from repro.errors import JSError
 from repro.kernel import RealKernel, VirtualKernel
 from repro.obs import Tracer, current_tracer, tracing
-from repro.rmi import ResultHandle
+from repro.rmi import MultiHandle, ResultHandle, minvoke
 from repro.simnet import SimWorld
 from repro.sysmon import SysParam
 from repro.util.serialization import Payload
@@ -72,7 +72,9 @@ __all__ = [
     "JSError",
     "RealKernel",
     "VirtualKernel",
+    "MultiHandle",
     "ResultHandle",
+    "minvoke",
     "SimWorld",
     "SysParam",
     "Tracer",

@@ -22,28 +22,34 @@ Also implemented here:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.agents import messages as M
 from repro.agents.holder_endpoints import HolderEndpoints
-from repro.agents.messages import Moved, UnknownObject
+from repro.agents.messages import BatchFailure, Moved, UnknownObject
 from repro.agents.objects import ClassRegistry, ObjectRef
 from repro.errors import (
     MigrationError,
     ObjectStateError,
     PersistenceError,
     RegistrationError,
+    RemoteInvocationError,
 )
 from repro.obs import events as ev
 from repro.obs import spans
 from repro.rmi.handle import ResultHandle
+from repro.rmi.multi import MultiHandle
 from repro.transport import Addr
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.builder import JSRuntime
 
 _MAX_REDIRECTS = 8
+
+#: default calls-per-message cap of the ainvoke coalescing buffer
+DEFAULT_COALESCE_BATCH = 16
 
 
 @dataclass
@@ -52,9 +58,98 @@ class RefEntry:
 
     ref: ObjectRef
     location: Addr
-    pending: int = 0            # in-flight async invocations
+    pending: int = 0            # in-flight async/batched invocations
+    #: futures completed when ``pending`` drops to zero (migrate drain)
+    drain_waiters: list = field(default_factory=list)
     auto_migrations: int = 0
     meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class _BatchCall:
+    """One call travelling in an ``INVOKE_BATCH`` group: the wire triple
+    plus its caller-side future and (optional) tracer span."""
+
+    ref: ObjectRef
+    method: str
+    params: Any
+    future: Any
+    span: Any = None
+
+
+class _InvokeCoalescer:
+    """Per-destination buffering of async invocations.
+
+    Inside a :meth:`AppOA.coalescing` window every ``ainvoke`` appends
+    to the buffer of its resolved destination instead of shipping its
+    own message.  A buffer ships as one ``INVOKE_BATCH`` when it reaches
+    ``max_batch`` calls, on an explicit ``flush()``, or automatically on
+    the next scheduler tick: a spawned flusher runs as soon as the
+    buffering process yields, so a burst issued inside one tick
+    piggybacks onto one message without ever stalling the application.
+    """
+
+    def __init__(self, app: "AppOA",
+                 max_batch: int = DEFAULT_COALESCE_BATCH) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.app = app
+        self.max_batch = max_batch
+        self._buffers: dict[Addr, list[_BatchCall]] = {}
+        self._lock = app.world.kernel.sanitizer.make_lock(
+            f"InvokeCoalescer[{app.app_id}]"
+        )
+        self._flush_scheduled = False
+
+    def add(self, ref: ObjectRef, method: str, params: Any) -> ResultHandle:
+        app = self.app
+        tracer = app.tracer
+        call = _BatchCall(
+            ref=ref, method=method, params=params,
+            future=app.world.kernel.create_future(),
+        )
+        if tracer.enabled:
+            call.span = tracer.begin_span(
+                ev.OBJ_INVOKE, ts=app.world.now(), host=app.home,
+                actor=str(app.addr), install=False, obj_id=ref.obj_id,
+                method=method, mode="async", coalesced=True,
+            )
+        app._pending_incr(ref)
+        dest = app._location_of(ref)
+        ship: list[_BatchCall] | None = None
+        schedule = False
+        with self._lock:
+            buffer = self._buffers.setdefault(dest, [])
+            buffer.append(call)
+            if len(buffer) >= self.max_batch:
+                ship = self._buffers.pop(dest)
+            elif not self._flush_scheduled:
+                self._flush_scheduled = True
+                schedule = True
+        if ship is not None:
+            app._spawn_batch(dest, ship, coalesced=True)
+        if schedule:
+            app.world.kernel.spawn(
+                self._scheduled_flush,
+                name=f"minvoke-flush@{app.app_id}", context={},
+            )
+        return ResultHandle(
+            call.future,
+            ctx=call.span.ctx if call.span is not None else None,
+            label=f"{ref.obj_id}.{method}",
+        )
+
+    def _scheduled_flush(self) -> None:
+        with self._lock:
+            self._flush_scheduled = False
+        self.flush()
+
+    def flush(self) -> None:
+        """Ship every buffered group now."""
+        with self._lock:
+            buffers, self._buffers = self._buffers, {}
+        for dest, group in buffers.items():
+            self.app._spawn_batch(dest, group, coalesced=True)
 
 
 class AppOA(HolderEndpoints):
@@ -70,6 +165,16 @@ class AppOA(HolderEndpoints):
         self.refs: dict[str, RefEntry] = {}
         #: location cache for handles originated by *other* applications
         self.foreign_locations: dict[str, Addr] = {}
+        #: in-flight async invocations on refs without a RefEntry row
+        #: (remote-origin handles, static segments)
+        self.foreign_pending: dict[str, int] = {}
+        #: guards pending counters: caller and worker processes touch
+        #: them concurrently (incr on issue, decr on completion)
+        self._pending_lock = runtime.world.kernel.sanitizer.make_lock(
+            f"AppOA[{app_id}].pending"
+        )
+        #: active ainvoke coalescing buffer (None outside coalescing())
+        self._coalescer: _InvokeCoalescer | None = None
         self.watch_ids: list[str] = []
         self.closed = False
         self.init_holder()
@@ -237,13 +342,15 @@ class AppOA(HolderEndpoints):
         self, ref: ObjectRef, method: str, params: Any = ()
     ) -> ResultHandle:
         """Asynchronous invocation: returns a :class:`ResultHandle`
-        immediately; a dedicated worker process carries the RMI."""
+        immediately; a dedicated worker process carries the RMI.
+        Inside a :meth:`coalescing` window the call is buffered and
+        piggybacks onto a per-destination ``INVOKE_BATCH`` instead."""
         self._check_open()
+        if self._coalescer is not None:
+            return self._coalescer.add(ref, method, params)
         kernel = self.world.kernel
         future = kernel.create_future()
-        entry = self.refs.get(ref.obj_id)
-        if entry is not None:
-            entry.pending += 1
+        self._pending_incr(ref)
         tracer = self.tracer
         inv_span = None
         if tracer.enabled:
@@ -267,8 +374,7 @@ class AppOA(HolderEndpoints):
             else:
                 future.set_result(result)
             finally:
-                if entry is not None:
-                    entry.pending -= 1
+                self._pending_decr(ref)
                 if inv_span is not None:
                     now = self.world.now()
                     tracer.end_span(inv_span, ts=now)
@@ -301,11 +407,33 @@ class AppOA(HolderEndpoints):
                 # Local object: run it in the background without reply
                 # traffic.  Exceptions are dropped, exactly as a remote
                 # one-sided invocation would drop them (fire and forget).
+                # The span is handed to the worker so its duration covers
+                # the actual dispatch, not just this resolve-and-spawn.
+                if span is not None and span.installed:
+                    spans.set_context(span.prev)
+                    span.installed = False
+
                 def fire() -> None:
+                    if span is not None:
+                        spans.set_context(span.ctx)
                     try:
-                        self.dispatch_invoke(ref.obj_id, method, params)
+                        outcome = self.dispatch_invoke(
+                            ref.obj_id, method, params
+                        )
+                        if isinstance(outcome, Moved) \
+                                and outcome.hint is not None:
+                            # Raced a migration: forward through the
+                            # tombstone, as _h_oneway_invoke would.
+                            self.endpoint.send_oneway(
+                                outcome.hint, M.ONEWAY_INVOKE,
+                                (ref.obj_id, method, params),
+                            )
                     except Exception:  # noqa: BLE001 - one-sided semantics
                         pass
+                    finally:
+                        if span is not None:
+                            tracer.end_span(span, ts=self.world.now())
+                            tracer.count("invoke.oneway")
 
                 self.world.kernel.spawn(
                     fire, name=f"oinvoke-{method}@{self.app_id}", context={}
@@ -315,9 +443,231 @@ class AppOA(HolderEndpoints):
                 location, M.ONEWAY_INVOKE, (ref.obj_id, method, params)
             )
         finally:
-            if span is not None:
+            if span is not None and span.installed:
                 tracer.end_span(span, ts=self.world.now())
                 tracer.count("invoke.oneway")
+
+    # ------------------------------------------------------------------------
+    # bulk invocation (extension: per-destination request batching)
+    # ------------------------------------------------------------------------
+
+    def minvoke(self, calls: Any, mapper: Any = None) -> MultiHandle:
+        """Bulk invocation: group ``(ref, method, params)`` calls by
+        resolved destination and ship each group as one
+        ``INVOKE_BATCH`` message.  Returns a :class:`MultiHandle` with
+        one handle per call, in request order; per-call failures and
+        ``Moved`` redirects stay per-call (one stale or raising call
+        never fails its batch-mates)."""
+        self._check_open()
+        kernel = self.world.kernel
+        tracer = self.tracer
+        items: list[_BatchCall] = []
+        groups: dict[Addr, list[_BatchCall]] = {}
+        for ref, method, params in calls:
+            call = _BatchCall(
+                ref=ref, method=method, params=params,
+                future=kernel.create_future(),
+            )
+            self._pending_incr(ref)
+            items.append(call)
+            groups.setdefault(self._location_of(ref), []).append(call)
+        for dest, group in groups.items():
+            bspan = None
+            if tracer.enabled:
+                now = self.world.now()
+                # The batch span parents every per-call span of its
+                # group; install=False on all of them — they belong to
+                # the shipping worker, not to this caller.
+                bspan = tracer.begin_span(
+                    ev.OBJ_INVOKE_BATCH, ts=now, host=self.home,
+                    actor=str(self.addr), install=False, dest=str(dest),
+                    size=len(group), coalesced=False,
+                )
+                for call in group:
+                    call.span = tracer.begin_span(
+                        ev.OBJ_INVOKE, ts=now, host=self.home,
+                        actor=str(self.addr), install=False,
+                        parent=bspan.ctx, obj_id=call.ref.obj_id,
+                        method=call.method, mode="batch",
+                    )
+            self._spawn_batch(dest, group, bspan=bspan)
+        return MultiHandle(
+            [
+                ResultHandle(
+                    call.future,
+                    ctx=call.span.ctx if call.span is not None else None,
+                    label=f"{call.ref.obj_id}.{call.method}",
+                )
+                for call in items
+            ],
+            mapper=mapper,
+        )
+
+    @contextmanager
+    def coalescing(self, max_batch: int = DEFAULT_COALESCE_BATCH):
+        """Context manager: buffer ``ainvoke`` bursts per destination
+        and ship each group as one ``INVOKE_BATCH``.  Buffers flush at
+        ``max_batch`` calls, on :meth:`flush_invokes`, automatically on
+        the next scheduler tick, and when the window closes."""
+        self._check_open()
+        previous = self._coalescer
+        coalescer = _InvokeCoalescer(self, max_batch)
+        self._coalescer = coalescer
+        try:
+            yield coalescer
+        finally:
+            self._coalescer = previous
+            coalescer.flush()
+
+    def flush_invokes(self) -> None:
+        """Ship anything buffered by an active :meth:`coalescing`
+        window immediately."""
+        if self._coalescer is not None:
+            self._coalescer.flush()
+
+    def _spawn_batch(self, dest: Addr, group: list[_BatchCall],
+                     bspan: Any = None, coalesced: bool = False) -> None:
+        """Ship one destination group on a dedicated worker process."""
+        tracer = self.tracer
+        if bspan is None and tracer.enabled:
+            bspan = tracer.begin_span(
+                ev.OBJ_INVOKE_BATCH, ts=self.world.now(), host=self.home,
+                actor=str(self.addr), install=False, dest=str(dest),
+                size=len(group), coalesced=coalesced,
+            )
+
+        def worker() -> None:
+            if bspan is not None:
+                spans.set_context(bspan.ctx)
+            try:
+                self._run_batch(dest, group)
+            finally:
+                if tracer.enabled:
+                    tracer.count("invoke.batched", len(group))
+                    tracer.count("invoke.batch.messages")
+                    tracer.observe("batch.size", len(group))
+                if bspan is not None:
+                    tracer.end_span(bspan, ts=self.world.now())
+
+        self.world.kernel.spawn(
+            worker, name=f"minvoke@{self.app_id}->{dest.host}", context={}
+        )
+
+    def _run_batch(self, dest: Addr, group: list[_BatchCall]) -> None:
+        payload = [(c.ref.obj_id, c.method, c.params) for c in group]
+        remote = dest != self.addr
+        if not remote:
+            outcomes = self.dispatch_invoke_batch(payload)
+        else:
+            try:
+                outcomes = self.endpoint.rpc(
+                    dest, M.INVOKE_BATCH, payload, timeout=self.rpc_timeout
+                )
+            except BaseException as exc:  # noqa: BLE001 - to every handle
+                for call in group:
+                    self._finish_call(call, exc=exc)
+                return
+        if not isinstance(outcomes, list) or len(outcomes) != len(group):
+            exc = ObjectStateError(
+                f"malformed INVOKE_BATCH reply from {dest}: {outcomes!r}"
+            )
+            for call in group:
+                self._finish_call(call, exc=exc)
+            return
+        for call, outcome in zip(group, outcomes):
+            if isinstance(outcome, (Moved, UnknownObject)):
+                # Per-call stale slot: chase this one redirect on its
+                # own (Figure 4) so a migrated object does not fail its
+                # batch-mates.
+                if isinstance(outcome, Moved) and outcome.hint is not None:
+                    self._update_location(call.ref, outcome.hint)
+                prev = None
+                if call.span is not None:
+                    prev = spans.set_context(call.span.ctx)
+                try:
+                    result = self._invoke_with_redirect(
+                        call.ref, call.method, call.params
+                    )
+                except BaseException as exc:  # noqa: BLE001 - to the handle
+                    self._finish_call(call, exc=exc)
+                else:
+                    self._finish_call(call, result=result)
+                finally:
+                    if call.span is not None:
+                        spans.set_context(prev)
+            elif isinstance(outcome, BatchFailure):
+                exc = outcome.exc
+                if remote and not isinstance(exc, RemoteInvocationError):
+                    # Same caller-facing family as a scalar remote
+                    # invocation failure.
+                    exc = RemoteInvocationError(
+                        f"batched call {call.ref.obj_id}.{call.method} at "
+                        f"{dest} raised {outcome.exc!r}",
+                        cause=outcome.exc,
+                    )
+                self._finish_call(call, exc=exc)
+            else:
+                self._finish_call(call, result=outcome)
+
+    def _finish_call(self, call: _BatchCall, result: Any = None,
+                     exc: BaseException | None = None) -> None:
+        try:
+            if exc is not None:
+                call.future.set_exception(exc)
+            else:
+                call.future.set_result(result)
+        finally:
+            self._pending_decr(call.ref)
+            if call.span is not None:
+                if exc is not None:
+                    self.tracer.end_span(
+                        call.span, ts=self.world.now(), error=True
+                    )
+                else:
+                    self.tracer.end_span(call.span, ts=self.world.now())
+
+    # ------------------------------------------------------------------------
+    # pending-invocation tracking (drained before migration)
+    # ------------------------------------------------------------------------
+
+    def _pending_incr(self, ref: ObjectRef) -> None:
+        entry = self.refs.get(ref.obj_id)
+        with self._pending_lock:
+            if entry is not None:
+                entry.pending += 1
+            else:
+                # Remote-origin handles and static segments have no
+                # RefEntry row but their in-flight calls count too.
+                self.foreign_pending[ref.obj_id] = (
+                    self.foreign_pending.get(ref.obj_id, 0) + 1
+                )
+
+    def _pending_decr(self, ref: ObjectRef) -> None:
+        entry = self.refs.get(ref.obj_id)
+        drained = []
+        with self._pending_lock:
+            if entry is not None and entry.pending > 0:
+                entry.pending -= 1
+                if entry.pending == 0 and entry.drain_waiters:
+                    drained = entry.drain_waiters
+                    entry.drain_waiters = []
+            else:
+                left = self.foreign_pending.get(ref.obj_id)
+                if left is not None:
+                    if left <= 1:
+                        del self.foreign_pending[ref.obj_id]
+                    else:
+                        self.foreign_pending[ref.obj_id] = left - 1
+        for waiter in drained:
+            waiter.set_result(None)
+
+    def pending_invocations(self, obj_id: str) -> int:
+        """In-flight async/batched invocations issued through this
+        AppOA for ``obj_id`` (own and foreign refs alike)."""
+        entry = self.refs.get(obj_id)
+        with self._pending_lock:
+            own = entry.pending if entry is not None else 0
+            return own + self.foreign_pending.get(obj_id, 0)
 
     def _invoke_with_redirect(
         self, ref: ObjectRef, method: str, params: Any
@@ -370,6 +720,7 @@ class AppOA(HolderEndpoints):
         dst = self.addr if target_host == self.home else Addr(target_host, "oa")
         if src == dst:
             return dst
+        self._drain_pending(entry)
         t0 = self.world.now()
         tracer = self.tracer
         mspan = None
@@ -404,6 +755,44 @@ class AppOA(HolderEndpoints):
             tracer.count("migrations")
             tracer.observe("migrate.duration", duration)
         return dst
+
+    def _drain_pending(self, entry: RefEntry) -> None:
+        """Wait for this app's in-flight async invocations on the object
+        before migrating it (paper: "migration is delayed until all
+        unfinished method invocations have completed").  The holder-side
+        quiescence wait only covers invocations already dispatched
+        there; calls issued here may still be on the wire.  The wait is
+        bounded by ``shell.config.migrate_drain_timeout`` (None = drain
+        fully): on expiry migration proceeds and the stragglers are
+        handed off to the tombstone redirect — safe, but worth a
+        sanitizer finding because the application is racing itself."""
+        if entry.pending <= 0:
+            return
+        self.flush_invokes()  # buffered coalesced calls count as pending
+        kernel = self.world.kernel
+        timeout = self.runtime.shell.config.migrate_drain_timeout
+        # Event-driven, not polled: _pending_decr completes the waiter
+        # on the 0-transition, so the drain costs one wakeup instead of
+        # a context-switch per poll tick (which starves long runs).
+        waiter = kernel.create_future()
+        with self._pending_lock:
+            if entry.pending <= 0:
+                drained = True
+            else:
+                entry.drain_waiters.append(waiter)
+                drained = False
+        if not drained:
+            drained = waiter.wait(timeout)
+            if not drained:
+                with self._pending_lock:
+                    if waiter in entry.drain_waiters:
+                        entry.drain_waiters.remove(waiter)
+        if not drained and entry.pending > 0:
+            san = kernel.sanitizer
+            if san.enabled:
+                san.migrate_with_pending(
+                    f"AppOA[{self.app_id}]", entry.ref.obj_id, entry.pending
+                )
 
     # ------------------------------------------------------------------------
     # persistence (paper Section 4.7)
@@ -537,6 +926,7 @@ class AppOA(HolderEndpoints):
     def _h_constraints_violated(self, msg):
         watch_id, violating, constraints = msg.payload
         violating = set(violating)
+        plan = []
         for obj_id, entry in list(self.refs.items()):
             if entry.location.host not in violating:
                 continue
@@ -545,11 +935,25 @@ class AppOA(HolderEndpoints):
             )
             if target is None:
                 continue  # nowhere satisfies the constraints; stay put
-            try:
-                self.migrate_object(entry.ref, target)
-                entry.auto_migrations += 1
-            except (MigrationError, ObjectStateError):
-                continue
+            plan.append((entry, target))
+        if not plan:
+            return None
+
+        # Migrate on a worker, not in this handler: migrate_object now
+        # drains pending invocations, and a pending worker may need
+        # *this* mailbox (re-resolving a moved object through the
+        # origin) — migrating inline would deadlock the two.
+        def worker() -> None:
+            for entry, target in plan:
+                try:
+                    self.migrate_object(entry.ref, target)
+                    entry.auto_migrations += 1
+                except (MigrationError, ObjectStateError):
+                    continue
+
+        self.world.kernel.spawn(
+            worker, name=f"auto-migrate@{self.app_id}", context={}
+        )
         return None
 
     # ------------------------------------------------------------------------
@@ -561,6 +965,7 @@ class AppOA(HolderEndpoints):
         un-registration lets JRS drop book-keeping and free memory)."""
         if self.closed:
             return
+        self.flush_invokes()  # ship any still-buffered coalesced calls
         for obj_id, entry in list(self.refs.items()):
             try:
                 self.free_object(entry.ref)

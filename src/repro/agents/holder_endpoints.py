@@ -37,6 +37,7 @@ class HolderEndpoints(ObjectHolder):
         ep.register(M.CREATE_OBJECT, self._h_create_object)
         ep.register(M.CREATE_FROM_STATE, self._h_create_from_state)
         ep.register(M.INVOKE, self._h_invoke)
+        ep.register(M.INVOKE_BATCH, self._h_invoke_batch)
         ep.register(M.ONEWAY_INVOKE, self._h_oneway_invoke)
         ep.register(M.FREE_OBJECT, self._h_free_object)
         ep.register(M.MIGRATE_OUT, self._h_migrate_out)
@@ -71,6 +72,31 @@ class HolderEndpoints(ObjectHolder):
     def _h_invoke(self, msg):
         obj_id, method_name, params = msg.payload
         return self.dispatch_invoke(obj_id, method_name, params)
+
+    def dispatch_invoke_batch(self, calls):
+        """Dispatch a positional batch of ``(obj_id, method, params)``
+        calls.  The outcome vector stays index-aligned with the request:
+        stale refs pass their ``Moved``/``UnknownObject`` markers through
+        per slot and a raising call becomes a ``BatchFailure`` — one bad
+        call never fails its batch-mates."""
+        from repro.agents.messages import BatchFailure
+
+        outcomes = []
+        for obj_id, method_name, params in calls:
+            try:
+                outcomes.append(
+                    self.dispatch_invoke(obj_id, method_name, params)
+                )
+            except Exception as exc:  # noqa: BLE001 - shipped positionally
+                outcomes.append(BatchFailure(obj_id, exc))
+        return outcomes
+
+    def _h_invoke_batch(self, msg):
+        calls = msg.payload
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.count("invoke.batch.dispatched", len(calls))
+        return self.dispatch_invoke_batch(calls)
 
     def _h_oneway_invoke(self, msg):
         from repro.agents.messages import Moved

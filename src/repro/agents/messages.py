@@ -22,6 +22,8 @@ MANAGER_TAKEOVER = "MANAGER_TAKEOVER"  # symlint: disable=dead-kind
 CREATE_OBJECT = "CREATE_OBJECT"
 CREATE_FROM_STATE = "CREATE_FROM_STATE"
 INVOKE = "INVOKE"
+INVOKE_BATCH = "INVOKE_BATCH"          # [(obj_id, method, params), ...] ->
+#                                        positional outcome vector
 ONEWAY_INVOKE = "ONEWAY_INVOKE"
 FREE_OBJECT = "FREE_OBJECT"
 MIGRATE_OUT = "MIGRATE_OUT"            # ao -> pa1: push the object to pa2
@@ -67,3 +69,18 @@ class UnknownObject:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<UnknownObject {self.obj_id}>"
+
+
+class BatchFailure:
+    """Per-call outcome in an ``INVOKE_BATCH`` reply: this one call
+    raised.  The exception travels positionally so a single bad call
+    does not fail the rest of the batch."""
+
+    __slots__ = ("obj_id", "exc")
+
+    def __init__(self, obj_id: str, exc: BaseException) -> None:
+        self.obj_id = obj_id
+        self.exc = exc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BatchFailure {self.obj_id}: {self.exc!r}>"

@@ -28,6 +28,10 @@ class ShellConfig:
     auto_migration: bool = False
     #: default RPC timeout for OAS traffic; None = block forever
     rpc_timeout: float | None = None
+    #: how long migrate_object waits for this app's in-flight async
+    #: invocations to drain before migrating anyway (handing stragglers
+    #: to the tombstone redirect); None = drain fully
+    migrate_drain_timeout: float | None = None
     #: constraints JRS applies when placing unmapped objects
     default_constraints: JSConstraints | None = None
     #: extension (off-path per paper): let the OAS react to NAS failures

@@ -15,8 +15,9 @@ Rules
     A synchronous remote call inside a loop: a bare ``sinvoke``, an
     ``ainvoke(...).get_result()`` chain, or an ainvoke whose handle is
     awaited immediately in the same iteration.  Each iteration pays a
-    full network round-trip; batch the ainvokes and collect the handles
-    after the loop, or use ``oinvoke`` when the result is unused.
+    full network round-trip; ship the call set as one ``minvoke`` batch
+    (or batch the ainvokes and collect the handles after the loop), or
+    use ``oinvoke`` when the result is unused.
 
 ``sync-invoke-async-opportunity`` (info)
     A ``sinvoke`` whose result is provably not needed for the next
@@ -250,9 +251,10 @@ class LocalityChecker(Checker):
                 module, call, depth,
                 f"synchronous sinvoke({method!r}) inside a loop "
                 f"(depth {depth}): every iteration blocks for a full "
-                "network round-trip; batch with ainvoke and collect "
-                "the handles after the loop, or oinvoke if the result "
-                "is unused",
+                "network round-trip; ship the whole call set as one "
+                "minvoke batch (or batch with ainvoke and collect the "
+                "handles after the loop), or oinvoke if the result is "
+                "unused",
                 symbol,
             )
             return
@@ -343,8 +345,9 @@ class LocalityChecker(Checker):
                 module, call, depth,
                 f"ainvoke({method!r}).{attr}() chained inside a loop "
                 "is a synchronous call in disguise — nothing overlaps. "
-                "Issue the ainvokes across iterations first, then "
-                "collect the handles",
+                "Ship the call set as one minvoke batch, or issue the "
+                "ainvokes across iterations first and collect the "
+                "handles",
                 f"{recv}.{method}",
             )
             return
@@ -362,8 +365,9 @@ class LocalityChecker(Checker):
                 module, call, depth,
                 f"handle {waited.id!r} is awaited immediately after "
                 f"its ainvoke({method!r}) in the same loop iteration: "
-                "the round-trips serialize. Collect the handles and "
-                "await them after the loop",
+                "the round-trips serialize. Ship the call set as one "
+                "minvoke batch, or collect the handles and await them "
+                "after the loop",
                 f"{waited.id}.{method}",
             )
 

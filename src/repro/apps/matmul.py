@@ -28,6 +28,7 @@ from repro.core.codebase import JSCodebase
 from repro.core.jsobj import JSObj
 from repro.core.registration import JSRegistration
 from repro.errors import JSError
+from repro.rmi.multi import minvoke
 from repro.util.serialization import Payload, unwrap
 from repro.varch.cluster import Cluster
 
@@ -184,6 +185,7 @@ def run_matmul(config: MatmulConfig) -> MatmulResult:
 
         while merged < nr_tasks:
             progressed = False
+            assignments: list[int] = []
             for i, worker in enumerate(workers):
                 if node_busy[i] >= 0 and handles[i].is_ready():
                     result = unwrap(handles[i].get_result())
@@ -195,13 +197,20 @@ def run_matmul(config: MatmulConfig) -> MatmulResult:
                     handles[i] = None
                     progressed = True
                 if node_busy[i] < 0 and next_task < nr_tasks:
-                    handles[i] = worker.ainvoke(
-                        "multiply", [make_task(next_task)]
-                    )
+                    assignments.append(i)
                     node_busy[i] = next_task
                     tasks_per_host[hosts[i]] += 1
                     next_task += 1
-                    progressed = True
+            if assignments:
+                # Hand the round's tasks out as one bulk RMI: workers
+                # on the same host share a single INVOKE_BATCH message.
+                batch = minvoke([
+                    (workers[i], "multiply", [make_task(node_busy[i])])
+                    for i in assignments
+                ])
+                for i, handle in zip(assignments, batch.handles):
+                    handles[i] = handle
+                progressed = True
             if not progressed:
                 kernel.sleep(config.poll_interval)
 

@@ -7,8 +7,11 @@ from repro.core.jsobj import HostGroup, JSObj
 from repro.core.jsstatic import JSStatic
 from repro.core.persistence import PersistentStore
 from repro.core.registration import AppPool, JSRegistration
+from repro.rmi.multi import MultiHandle, minvoke
 
 __all__ = [
+    "MultiHandle",
+    "minvoke",
     "CodebaseEntry",
     "JSCodebase",
     "JSConstants",

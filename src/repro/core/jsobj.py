@@ -30,6 +30,7 @@ from repro.agents.objects import ObjectRef
 from repro.constraints import JSConstraints
 from repro.errors import MigrationError, ObjectStateError
 from repro.rmi.handle import ResultHandle
+from repro.rmi.multi import MultiHandle
 from repro.varch.component import VAComponent
 
 
@@ -143,6 +144,18 @@ class JSObj:
     ) -> None:
         """One-sided invocation: no result, no completion wait."""
         self._app.oinvoke(self._ref, method, _to_wire(params))
+
+    def minvoke(
+        self, method: str, params_list: Sequence[Sequence[Any] | None]
+    ) -> MultiHandle:
+        """Bulk invocation: one call per parameter list, all shipped in
+        a single ``INVOKE_BATCH`` message (grouped with any other calls
+        headed to the object's node).  Returns a :class:`MultiHandle`
+        with positional results."""
+        return self._app.minvoke(
+            [(self._ref, method, _to_wire(p)) for p in params_list],
+            mapper=self._wrap_result,
+        )
 
     # -- location & mapping introspection ------------------------------------------
 

@@ -28,6 +28,7 @@ from repro.agents.objects import ObjectRef
 from repro.core.jsobj import _resolve_target_hosts, _to_wire
 from repro.errors import ObjectStateError
 from repro.rmi.handle import ResultHandle
+from repro.rmi.multi import MultiHandle
 from repro.transport import Addr
 
 
@@ -66,6 +67,10 @@ class JSStatic:
     # -- identity ----------------------------------------------------------------
 
     @property
+    def ref(self) -> ObjectRef:
+        return self._ref
+
+    @property
     def class_name(self) -> str:
         return self._class_name
 
@@ -89,6 +94,15 @@ class JSStatic:
         self, method: str, params: Sequence[Any] | None = None
     ) -> None:
         self._app.oinvoke(self._ref, method, _to_wire(params))
+
+    def minvoke(
+        self, method: str, params_list: Sequence[Sequence[Any] | None]
+    ) -> MultiHandle:
+        """Bulk static invocation: one call per parameter list, shipped
+        as a single ``INVOKE_BATCH`` message to the segment's node."""
+        return self._app.minvoke(
+            [(self._ref, method, _to_wire(p)) for p in params_list]
+        )
 
     # -- static variables ---------------------------------------------------------
 

@@ -41,7 +41,8 @@ _CATEGORY = {
 }
 
 #: field keys worth surfacing as a one-word segment detail, in order
-_DETAIL_KEYS = ("kind", "method", "step", "obj_id", "app", "label")
+#: (``dest`` identifies obj.invoke.batch transfer segments)
+_DETAIL_KEYS = ("kind", "method", "step", "obj_id", "app", "label", "dest")
 
 
 def _category(etype: str) -> str:

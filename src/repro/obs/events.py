@@ -23,8 +23,13 @@ Event types and their fields
 ``obj.create`` / ``obj.free`` (instant)
     obj_id, class_name, location
 ``obj.invoke`` (span, dur = caller-observed invocation time; for
-one-sided calls dur covers only the local resolve-and-send)
-    obj_id, method, mode (``sync`` | ``async`` | ``oneway``)
+one-sided calls dur covers dispatch of the spawned local worker or the
+local resolve-and-send when remote)
+    obj_id, method, mode (``sync`` | ``async`` | ``oneway`` | ``batch``)
+``obj.invoke.batch`` (span, dur = ship-to-collect time of one
+``INVOKE_BATCH`` message; parents the per-call ``obj.invoke`` spans of
+a ``minvoke`` group)
+    dest, size, coalesced (True when ainvoke bursts were buffered)
 ``obj.dispatch`` (span, dur = holder-side execution incl. compute charge)
     obj_id, method, flops
 ``obj.wait`` (span, dur = time a ``ResultHandle.get_result`` blocked)
@@ -76,6 +81,7 @@ COMPUTE = "compute"
 OBJ_CREATE = "obj.create"
 OBJ_FREE = "obj.free"
 OBJ_INVOKE = "obj.invoke"
+OBJ_INVOKE_BATCH = "obj.invoke.batch"
 OBJ_DISPATCH = "obj.dispatch"
 OBJ_WAIT = "obj.wait"
 LOCK_WAIT = "lock.wait"

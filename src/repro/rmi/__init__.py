@@ -7,5 +7,6 @@ package exports the user-visible pieces.
 
 from repro.agents.objects import js_compute, jsclass
 from repro.rmi.handle import ResultHandle
+from repro.rmi.multi import MultiHandle, minvoke
 
-__all__ = ["js_compute", "jsclass", "ResultHandle"]
+__all__ = ["js_compute", "jsclass", "MultiHandle", "ResultHandle", "minvoke"]

@@ -54,6 +54,7 @@ SAN_RULES: dict[str, Severity] = {
     "san-leak-future": Severity.WARNING,
     "san-leak-handle": Severity.WARNING,
     "san-leak-channel": Severity.WARNING,
+    "san-migrate-pending": Severity.WARNING,
 }
 
 _OWN_DIRS = (
@@ -136,6 +137,12 @@ class NullSanitizer:
     def chan_wait_done(self, chan: Any) -> None:
         pass
 
+    # -- runtime protocol hazards -------------------------------------------
+
+    def migrate_with_pending(self, owner: str, obj_id: str,
+                             pending: int) -> None:
+        pass
+
     # -- detectors' report sinks --------------------------------------------
 
     def note_all_blocked(self, kernel: Any, dump: str,
@@ -212,6 +219,20 @@ class Sanitizer(NullSanitizer):
         tid = threading.get_ident()
         with self._mu:
             self._thread_names[tid] = name
+
+    # -- runtime protocol hazards -------------------------------------------
+
+    def migrate_with_pending(self, owner: str, obj_id: str,
+                             pending: int) -> None:
+        self._emit(
+            "san-migrate-pending",
+            f"{owner} migrated object {obj_id} with {pending} async "
+            "invocation(s) still in flight; the stragglers were handed "
+            "off to the tombstone redirect — await the handles (or raise "
+            "migrate_drain_timeout) before migrating",
+            caller_site(),
+            symbol=obj_id,
+        )
 
     # -- lock factory / wait-for graph ---------------------------------------
 

@@ -149,12 +149,19 @@ class TestReplyAncestry:
                  if e.ctx is not None}
         invokes = tracer.events_of(ev.OBJ_INVOKE)
         assert invokes
+        # matmul hands its tasks out via minvoke, so the invocation
+        # requests travel as INVOKE_BATCH under obj.invoke.batch spans.
+        owners = {
+            "INVOKE": ev.OBJ_INVOKE,
+            "INVOKE_BATCH": ev.OBJ_INVOKE_BATCH,
+        }
         found = 0
         for request in tracer.events_of(ev.RPC_REQUEST):
-            if request.fields["kind"] != "INVOKE":
+            owner = owners.get(request.fields["kind"])
+            if owner is None:
                 continue
             parent = by_id.get(request.ctx.parent_id)
-            while parent is not None and parent.etype != ev.OBJ_INVOKE:
+            while parent is not None and parent.etype != owner:
                 parent = by_id.get(parent.ctx.parent_id)
             assert parent is not None
             found += 1
@@ -325,6 +332,95 @@ class TestAsyncPropagation:
         assert create.ctx is not None
         assert create.ctx.trace_id == app_span.ctx.trace_id
         assert create.ctx.span_id == app_span.ctx.span_id
+
+    def test_local_oneway_span_covers_dispatch(self):
+        """The oinvoke local fast path hands its span to the fired
+        worker: the span must stay open across the dispatch (it used to
+        be closed by the issuing caller at fire time, recording ~zero
+        duration and orphaning the dispatch span)."""
+        from repro import (
+            JSCodebase,
+            JSObj,
+            JSRegistration,
+            TestbedConfig,
+            vienna_testbed,
+        )
+        from tests.conftest import Spinner  # noqa: F401
+
+        with tracing(Tracer()) as tracer:
+            runtime = vienna_testbed(
+                TestbedConfig(load_profile="dedicated", seed=7)
+            )
+            kernel = runtime.world.kernel
+
+            def app():
+                reg = JSRegistration()
+                obj = JSObj("Spinner", "local")
+                obj.oinvoke("spin", [30e6])
+                kernel.sleep(10.0)  # let the fired worker finish
+                obj.free()
+                reg.unregister()
+
+            runtime.run_app(app)
+
+        oneways = [e for e in tracer.events_of(ev.OBJ_INVOKE)
+                   if e.fields.get("mode") == "oneway"]
+        assert oneways, "local oinvoke recorded no oneway span"
+        (oneway,) = oneways
+        dispatches = [e for e in tracer.events_of(ev.OBJ_DISPATCH)
+                      if e.ctx.parent_id == oneway.ctx.span_id]
+        assert dispatches, "dispatch span not parented under the oneway"
+        # The span brackets the modelled compute, not just the issue.
+        assert oneway.dur >= dispatches[0].dur > 0.0
+
+    def test_batch_span_parents_per_call_spans(self):
+        """minvoke: one obj.invoke.batch span per destination group,
+        with every per-call obj.invoke span (mode=batch) as a child,
+        plus the batching counters."""
+        from repro import (
+            JSCodebase,
+            JSObj,
+            JSRegistration,
+            TestbedConfig,
+            vienna_testbed,
+        )
+        from tests.conftest import Counter  # noqa: F401
+
+        with tracing(Tracer()) as tracer:
+            runtime = vienna_testbed(
+                TestbedConfig(load_profile="dedicated", seed=7)
+            )
+
+            def app():
+                reg = JSRegistration()
+                cb = JSCodebase()
+                cb.add(Counter)
+                cb.load(["rachel"])
+                obj = JSObj("Counter", "rachel")
+                assert obj.minvoke(
+                    "incr", [[1], [2], [3]]
+                ).get_results() == [1, 3, 6]
+                obj.free()
+                reg.unregister()
+
+            runtime.run_app(app)
+
+        batches = tracer.events_of(ev.OBJ_INVOKE_BATCH)
+        assert len(batches) == 1
+        (batch,) = batches
+        assert batch.fields["size"] == 3
+        assert batch.fields["coalesced"] is False
+        calls = [e for e in tracer.events_of(ev.OBJ_INVOKE)
+                 if e.fields.get("mode") == "batch"]
+        assert len(calls) == 3
+        for call in calls:
+            assert call.ctx.parent_id == batch.ctx.span_id
+            assert call.ctx.trace_id == batch.ctx.trace_id
+        assert tracer.metrics.counter("invoke.batched") == 3
+        assert tracer.metrics.counter("invoke.batch.messages") == 1
+        assert tracer.metrics.counter("invoke.batch.dispatched") == 3
+        hist = tracer.metrics.histogram("batch.size")
+        assert hist is not None
 
 
 # ---------------------------------------------------------------------------
