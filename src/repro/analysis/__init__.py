@@ -14,12 +14,19 @@ cannot enforce mechanically at run time:
 * locality & communication cost — symloc's CFG/dataflow-backed rules
   against chatty synchronous RMI, dropped handles, migration thrash and
   per-iteration re-serialization (``locality``, on the reusable
-  :mod:`repro.analysis.cfg` + :mod:`repro.analysis.dataflow` engine).
+  :mod:`repro.analysis.cfg` + :mod:`repro.analysis.dataflow` engine);
+* copy-semantics & stale-reference safety — symshare's alias, escape
+  and typestate layers (:mod:`repro.analysis.alias`,
+  :mod:`repro.analysis.escape`, :mod:`repro.analysis.typestate`)
+  catching mutate-after-send, live resources in remote arguments,
+  stale cached locations after ``migrate``, consumed oneway results
+  and project-wide never-awaited handles (``share``).
 
 Run it as ``python -m repro lint [paths]`` or through
 :func:`analyze_paths`.
 """
 
+from repro.analysis.alias import AliasAnalysis
 from repro.analysis.base import (
     Checker,
     Finding,
@@ -30,6 +37,7 @@ from repro.analysis.base import (
 from repro.analysis.blocking import BlockingHandlerChecker
 from repro.analysis.cfg import CFG, Block, build_cfg, function_cfgs
 from repro.analysis.dataflow import Liveness, ReachingDefinitions
+from repro.analysis.escape import EscapeAnalysis, Summary
 from repro.analysis.lock_discipline import LockDisciplineChecker
 from repro.analysis.locality import LocalityChecker
 from repro.analysis.migration_safety import MigrationSafetyChecker
@@ -39,14 +47,23 @@ from repro.analysis.runner import (
     analyze_paths,
     default_checkers,
     render_json,
+    render_sarif,
     render_text,
+)
+from repro.analysis.share import SymshareChecker
+from repro.analysis.typestate import (
+    TSEvent,
+    TypestateAnalysis,
+    TypestateSpec,
 )
 
 __all__ = [
+    "AliasAnalysis",
     "Block",
     "BlockingHandlerChecker",
     "CFG",
     "Checker",
+    "EscapeAnalysis",
     "Finding",
     "Liveness",
     "LocalityChecker",
@@ -58,10 +75,16 @@ __all__ = [
     "ReachingDefinitions",
     "Report",
     "Severity",
+    "Summary",
+    "SymshareChecker",
+    "TSEvent",
+    "TypestateAnalysis",
+    "TypestateSpec",
     "analyze_paths",
     "build_cfg",
     "default_checkers",
     "function_cfgs",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -1,0 +1,168 @@
+"""Intraprocedural flow-sensitive must/may alias sets.
+
+Layered on :class:`~repro.analysis.dataflow.ReachingDefinitions`: the
+only aliasing Python source states outright is the plain name copy
+``a = b``, so a reaching *copy* definition is an alias edge — valid
+exactly while some binding of the source that was in force at the copy
+still reaches the query point (if every such binding has been shadowed,
+``b`` now names a different object and the edge is dead).
+
+* **may-alias**: the transitive closure of live copy edges in both
+  directions (``a = b`` makes ``a`` an alias *of* ``b`` and ``b`` an
+  alias *of* ``a``) over the definitions reaching the query point.
+  Sound for "could these two names denote one object?" up to the usual
+  static limits: attribute/subscript aliasing (``xs[0] = b``) and
+  aliasing created inside callees are not modeled — callers needing the
+  interprocedural half combine this with
+  :mod:`repro.analysis.escape` summaries.
+* **must-alias**: the copy chain is the *only* way the name can be
+  bound here — a single reaching definition per link, source never
+  shadowed on any path.  Used when a rule needs "provably the same
+  object", not just "possibly".
+
+Everything is computed per query from the solved reaching-definitions
+boundary, so the class adds no extra fixpoint of its own.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import CFG, Block
+from repro.analysis.dataflow import Definition, ReachingDefinitions
+
+
+def copy_source(stmt: ast.AST) -> tuple[str, str] | None:
+    """``(target, source)`` for a plain name-to-name copy ``x = y``."""
+    if (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Name)
+        and isinstance(stmt.value, ast.Name)
+    ):
+        return stmt.targets[0].id, stmt.value.id
+    return None
+
+
+class AliasAnalysis:
+    """Must/may alias queries at ``(block, statement index)`` points."""
+
+    def __init__(self, cfg: CFG,
+                 reaching: ReachingDefinitions | None = None) -> None:
+        self.cfg = cfg
+        self.reaching = (
+            reaching if reaching is not None else ReachingDefinitions(cfg)
+        )
+        #: copy Definition -> its source name
+        self._copy_of: dict[Definition, str] = {}
+        for block in cfg.blocks:
+            for idx, stmt in enumerate(block.stmts):
+                pair = copy_source(stmt)
+                if pair is None:
+                    continue
+                target, source = pair
+                self._copy_of[Definition(
+                    target, block.id, idx, getattr(stmt, "lineno", 0)
+                )] = source
+
+    # -- copy-edge liveness --------------------------------------------------
+
+    def _source_defs_at_copy(self, copy_def: Definition) -> frozenset:
+        """Bindings of the copy's source name in force when the copy
+        executed (the copy itself never rebinds its source)."""
+        block = self.cfg.block(copy_def.block)
+        source = self._copy_of[copy_def]
+        return frozenset(
+            d for d in self.reaching.reaching_before(block, copy_def.index)
+            if d.name == source
+        )
+
+    def _copy_live(self, copy_def: Definition,
+                   defs_by_name: dict[str, set[Definition]]) -> bool:
+        """Is the alias edge of this copy still valid at a query point
+        whose reaching definitions are ``defs_by_name``?"""
+        source = self._copy_of[copy_def]
+        at_query = defs_by_name.get(source, set())
+        at_copy = self._source_defs_at_copy(copy_def)
+        if not at_copy and not at_query:
+            # Never bound in this function (parameter, free variable):
+            # the source cannot have been shadowed.
+            return True
+        return bool(at_copy & set(at_query))
+
+    # -- queries -------------------------------------------------------------
+
+    def _defs_by_name(self, block: Block,
+                      idx: int) -> dict[str, set[Definition]]:
+        by_name: dict[str, set[Definition]] = {}
+        for d in self.reaching.reaching_before(block, idx):
+            by_name.setdefault(d.name, set()).add(d)
+        return by_name
+
+    def may_aliases(self, block: Block, idx: int,
+                    name: str) -> frozenset[str]:
+        """Names that may denote the same object as ``name`` just
+        before ``block.stmts[idx]`` (always includes ``name``)."""
+        by_name = self._defs_by_name(block, idx)
+        out = {name}
+        work = [name]
+        while work:
+            current = work.pop()
+            # forward: current was copied *from* some source
+            for d in by_name.get(current, ()):
+                source = self._copy_of.get(d)
+                if source is None or source in out:
+                    continue
+                if self._copy_live(d, by_name):
+                    out.add(source)
+                    work.append(source)
+            # backward: some other name was copied from current
+            for other, defs in by_name.items():
+                if other in out:
+                    continue
+                for d in defs:
+                    if self._copy_of.get(d) != current:
+                        continue
+                    if self._copy_live(d, by_name):
+                        out.add(other)
+                        work.append(other)
+                        break
+        return frozenset(out)
+
+    def must_alias(self, block: Block, idx: int, a: str, b: str) -> bool:
+        """Do ``a`` and ``b`` provably denote the same object just
+        before ``block.stmts[idx]``?  True only when one reaches the
+        other through a chain of single, unshadowed copy definitions."""
+        if a == b:
+            return True
+        by_name = self._defs_by_name(block, idx)
+        return (
+            self._must_chain(a, b, by_name)
+            or self._must_chain(b, a, by_name)
+        )
+
+    def _must_chain(self, start: str, goal: str,
+                    by_name: dict[str, set[Definition]]) -> bool:
+        current = start
+        seen = {start}
+        while True:
+            defs = by_name.get(current, set())
+            if len(defs) != 1:
+                return False
+            (only,) = defs
+            source = self._copy_of.get(only)
+            if source is None or source in seen:
+                return False
+            # must: every binding of the source at the query must have
+            # been in force at the copy (no path rebinds it in between)
+            at_query = by_name.get(source, set())
+            at_copy = self._source_defs_at_copy(only)
+            if at_query and not set(at_query) <= set(at_copy):
+                return False
+            if source == goal:
+                return True
+            seen.add(source)
+            current = source
+
+
+__all__ = ["AliasAnalysis", "copy_source"]

@@ -180,6 +180,14 @@ class ReachingDefinitions(DataflowAnalysis):
                 reaching.add(Definition(name, block.id, i, line))
         return frozenset(reaching)
 
+    def reaching_after(self, block: Block, idx: int) -> frozenset:
+        """Definitions reaching the point just *after*
+        ``block.stmts[idx]`` — ``reaching_before`` plus the statement's
+        own bindings (which shadow same-name predecessors).  This is the
+        boundary alias analysis needs: a copy ``a = b`` is judged by
+        which ``b`` bindings were in force once the copy executed."""
+        return self.reaching_before(block, idx + 1)
+
 
 def defs_of(stmt: ast.AST) -> set[str]:
     """Re-export of :func:`repro.analysis.cfg.stmt_defs` for callers

@@ -60,8 +60,14 @@ SLEEP_SINKS = {"time.sleep", "_time.sleep"}
 _EXCLUDED_SEGMENTS = {"kernel", "sanitizer"}
 
 
-def _excluded(path: str) -> bool:
+def excluded_path(path: str) -> bool:
+    """Kernel/sanitizer modules: the blocking layer itself, excluded
+    from interprocedural traversal (module docstring) and reused by
+    :mod:`repro.analysis.share` for the same reason."""
     return bool(_EXCLUDED_SEGMENTS.intersection(re.split(r"[\\/]", path)))
+
+
+_excluded = excluded_path
 
 
 def collect_lock_attrs(klass: ast.ClassDef) -> set[str]:

@@ -14,6 +14,7 @@ from repro.analysis.locality import LocalityChecker
 from repro.analysis.migration_safety import MigrationSafetyChecker
 from repro.analysis.obs_discipline import ObsDisciplineChecker
 from repro.analysis.protocol import ProtocolChecker
+from repro.analysis.share import SymshareChecker
 
 SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
 
@@ -27,6 +28,7 @@ def default_checkers() -> list[Checker]:
         ObsDisciplineChecker(),
         InterproceduralChecker(),
         LocalityChecker(),
+        SymshareChecker(),
     ]
 
 
@@ -257,6 +259,70 @@ def apply_baseline(
 
 def render_json(report: Report) -> str:
     return json.dumps(report.to_dict(), indent=2)
+
+
+def render_sarif(report: Report) -> str:
+    """SARIF 2.1.0, the exchange format GitHub code scanning ingests.
+    One run, tool ``symlint``; every rule that appears in the findings
+    gets a driver rule entry so viewers can show severities and help."""
+    level = {
+        Severity.ERROR: "error",
+        Severity.WARNING: "warning",
+        Severity.INFO: "note",
+    }
+    all_rules = known_rules()
+    used = sorted({f.rule for f in report.findings})
+    rules = [
+        {
+            "id": rule,
+            "defaultConfiguration": {
+                "level": level[all_rules.get(rule, Severity.WARNING)],
+            },
+        }
+        for rule in used
+    ]
+    rule_index = {rule: i for i, rule in enumerate(used)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": level[f.severity],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace(os.sep, "/"),
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    },
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "symlint",
+                        "informationUri":
+                            "https://github.com/pysymphony/pysymphony",
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
 
 
 def render_github(report: Report) -> str:

@@ -1,0 +1,239 @@
+"""Generic typestate dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A *typestate* refines "what is this variable?" with "what has happened
+to it?": a result handle is ``created`` until awaited, ``consumed``
+after; a resolved location is ``valid`` until the object migrates,
+``stale`` after.  Clients describe one protocol as a
+:class:`TypestateSpec` — a birth table, a transition table and an error
+table over opaque state/event-kind strings — plus an ``events_of``
+callback that recognizes the protocol's events in a statement.  The
+solver is protocol-agnostic: a forward may-analysis whose facts are
+``(name, state)`` pairs, merged by union at joins, so a name carries
+*every* state some path could have left it in.
+
+Termination: facts are drawn from the finite set (names in the
+function) x (states in the spec), the join is set union and per-block
+transfer is monotone (adding an input fact can only add output facts —
+each pair steps independently), so the worklist reaches the least
+fixpoint.  ``tests/test_symshare.py`` exercises this property on
+randomized CFGs.
+
+Copies (``a = b``) are handled by the solver itself: the target
+inherits the source's states, and — when the spec sets
+``copy_kills_source`` — the source moves to ``escape_state`` so that
+linear protocols (a handle awaited through its new name) do not
+double-report through the old one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.analysis.alias import copy_source
+from repro.analysis.cfg import CFG, Block, stmt_defs
+
+
+@dataclass(frozen=True)
+class TSEvent:
+    """One protocol event: ``kind`` happened to ``name`` at ``node``."""
+
+    name: str
+    kind: str
+    node: ast.AST
+
+
+@dataclass(frozen=True)
+class TypestateSpec:
+    """One protocol: births, transitions, and which steps are errors.
+
+    * ``births``: event kind -> state the name enters when the event
+      *binds* it (``x = obj.ainvoke(...)`` births ``x`` at "created").
+    * ``transitions``: (state, event kind) -> next state.  Pairs not
+      listed leave the state unchanged (events foreign to the protocol
+      are ignored, not errors).
+    * ``errors``: (state, event kind) -> error key reported when the
+      event fires on a name in that state.  An erroring step also
+      transitions if the pair is in ``transitions``; otherwise the
+      state is kept so downstream uses keep their context.
+    * ``escape_state``: state for names whose object left the
+      function's view (copied away under ``copy_kills_source``, or
+      moved there by an explicit transition).  ``None`` drops the fact.
+    """
+
+    name: str
+    births: dict[str, str] = field(default_factory=dict)
+    transitions: dict[tuple[str, str], str] = field(default_factory=dict)
+    errors: dict[tuple[str, str], str] = field(default_factory=dict)
+    escape_state: str | None = None
+    copy_kills_source: bool = False
+
+    def step(self, state: str, kind: str) -> tuple[str, str | None]:
+        """``(next state, error key or None)`` for one event."""
+        return (
+            self.transitions.get((state, kind), state),
+            self.errors.get((state, kind)),
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One error step observed on some path."""
+
+    error: str
+    name: str
+    state: str
+    node: ast.AST
+    event: TSEvent
+
+
+EventsOf = Callable[[ast.AST], Iterable[TSEvent]]
+
+
+class TypestateAnalysis:
+    """Solve one :class:`TypestateSpec` over one function CFG."""
+
+    def __init__(self, cfg: CFG, spec: TypestateSpec,
+                 events_of: EventsOf) -> None:
+        self.cfg = cfg
+        self.spec = spec
+        #: statement identity -> its events, precomputed once
+        self._events: dict[int, list[TSEvent]] = {}
+        for _block, _idx, stmt in cfg.statements():
+            self._events[id(stmt)] = list(events_of(stmt))
+        self.in_: dict[int, frozenset[tuple[str, str]]] = {}
+        self._solve()
+
+    # -- transfer ------------------------------------------------------------
+
+    def _transfer_stmt(
+        self,
+        stmt: ast.AST,
+        facts: frozenset[tuple[str, str]],
+        sink: list[Violation] | None,
+    ) -> frozenset[tuple[str, str]]:
+        spec = self.spec
+        events = self._events[id(stmt)]
+        births = [e for e in events if e.kind in spec.births]
+        out = set(facts)
+        # 1. non-birth events step every state the name may be in
+        for event in events:
+            if event.kind in spec.births:
+                continue
+            stepped: set[tuple[str, str]] = set()
+            for pair in list(out):
+                name, state = pair
+                if name != event.name:
+                    continue
+                out.discard(pair)
+                nxt, error = spec.step(state, event.kind)
+                stepped.add((name, nxt))
+                if error is not None and sink is not None:
+                    sink.append(Violation(
+                        error, name, state, stmt, event
+                    ))
+            out |= stepped
+        # 2. copies: the target inherits the source's states
+        pair = copy_source(stmt)
+        copied: set[str] = set()
+        if pair is not None:
+            target, source = pair
+            copied = {state for n, state in out if n == source}
+            if copied and spec.copy_kills_source:
+                out = {p for p in out if p[0] != source}
+                if spec.escape_state is not None:
+                    out.add((source, spec.escape_state))
+        # 3. rebinding kills the old object's facts for that name
+        born = {e.name for e in births}
+        for name in stmt_defs(stmt):
+            if name in born:
+                continue
+            if pair is not None and name == pair[0]:
+                continue
+            out = {p for p in out if p[0] != name}
+        if pair is not None and copied:
+            target = pair[0]
+            out = {p for p in out if p[0] != target}
+            out |= {(target, state) for state in copied}
+        # 4. births bind the name fresh
+        for event in births:
+            out = {p for p in out if p[0] != event.name}
+            out.add((event.name, spec.births[event.kind]))
+        return frozenset(out)
+
+    def _transfer_block(
+        self,
+        block: Block,
+        facts: frozenset[tuple[str, str]],
+        sink: list[Violation] | None = None,
+    ) -> frozenset[tuple[str, str]]:
+        for stmt in block.stmts:
+            facts = self._transfer_stmt(stmt, facts, sink)
+        return facts
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def _solve(self) -> None:
+        blocks = {b.id: b for b in self.cfg.blocks}
+        in_: dict[int, frozenset] = {
+            b.id: frozenset() for b in self.cfg.blocks
+        }
+        out: dict[int, frozenset] = {
+            b.id: frozenset() for b in self.cfg.blocks
+        }
+        work = [b.id for b in self.cfg.blocks]
+        while work:
+            bid = work.pop()
+            block = blocks[bid]
+            merged = frozenset().union(
+                *(out[p] for p in block.preds)
+            ) if block.preds else frozenset()
+            in_[bid] = merged
+            new_out = self._transfer_block(block, merged)
+            if new_out != out[bid]:
+                out[bid] = new_out
+                work.extend(block.succs)
+        self.in_ = in_
+        self.out = out
+
+    # -- queries -------------------------------------------------------------
+
+    def facts_before(self, block: Block,
+                     idx: int) -> frozenset[tuple[str, str]]:
+        """``(name, state)`` pairs just before ``block.stmts[idx]``."""
+        facts = self.in_[block.id]
+        for stmt in block.stmts[:idx]:
+            facts = self._transfer_stmt(stmt, facts, None)
+        return facts
+
+    def states_before(self, block: Block, idx: int,
+                      name: str) -> frozenset[str]:
+        return frozenset(
+            state for n, state in self.facts_before(block, idx)
+            if n == name
+        )
+
+    def violations(self) -> list[Violation]:
+        """Every error step, re-walked from the solved block inputs and
+        deduplicated per (statement, name, error)."""
+        raw: list[Violation] = []
+        for block in self.cfg.blocks:
+            self._transfer_block(block, self.in_[block.id], raw)
+        seen: set[tuple[int, str, str]] = set()
+        unique: list[Violation] = []
+        for v in raw:
+            key = (id(v.node), v.name, v.error)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(v)
+        return unique
+
+
+__all__ = [
+    "TSEvent",
+    "TypestateSpec",
+    "TypestateAnalysis",
+    "Violation",
+]

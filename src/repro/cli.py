@@ -157,6 +157,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         known_rules,
         load_baseline,
         render_github,
+        render_sarif,
         rule_groups,
         write_baseline,
     )
@@ -201,6 +202,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(render_json(report))
     elif args.format == "github":
         print(render_github(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report))
     if report.errors:
@@ -404,7 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories (default: the repro package itself)",
     )
     p_lint.add_argument("--format", default="text",
-                        choices=["text", "json", "github"])
+                        choices=["text", "json", "github", "sarif"])
     p_lint.add_argument("--rules", default=None,
                         help="comma-separated rule ids or checker names "
                              "(e.g. 'locality') to report")

@@ -45,7 +45,9 @@ class ResultHandle:
         """Non-blocking availability test (paper: ``isReady``)."""
         san = current_sanitizer()
         if san.enabled:
-            san.handle_awaited(self)
+            # A poll is not consumption: the result is still unretrieved,
+            # so the handle must stay on the leak tracker's books.
+            san.handle_polled(self)
         return self._future.done()
 
     def get_result(self, timeout: float | None = None) -> Any:

@@ -131,6 +131,9 @@ class NullSanitizer:
     def handle_awaited(self, handle: Any) -> None:
         pass
 
+    def handle_polled(self, handle: Any) -> None:
+        pass
+
     def chan_wait(self, chan: Any, kernel: Any) -> None:
         pass
 
@@ -387,6 +390,12 @@ class Sanitizer(NullSanitizer):
             return
         with self._mu:
             self._leaks.handle_awaited(handle)
+
+    def handle_polled(self, handle: Any) -> None:
+        if not self.leaks:
+            return
+        with self._mu:
+            self._leaks.handle_polled(handle)
 
     def chan_wait(self, chan: Any, kernel: Any) -> None:
         if not self.leaks:

@@ -34,6 +34,10 @@ class LeakRegistry:
         self._handles: dict[
             int, tuple[Any, weakref.ref, tuple[str, int]]
         ] = {}
+        #: ids of tracked handles that were polled (is_ready) but never
+        #: awaited — a poll is not consumption, so the handle stays
+        #: tracked; the leak report just names the sharper failure mode
+        self._polled: set[int] = set()
         #: waiting thread id -> (channel label, kernel weakref, wait site)
         self._chan_waits: dict[
             int, tuple[str, weakref.ref, tuple[str, int]]
@@ -54,6 +58,11 @@ class LeakRegistry:
 
     def handle_awaited(self, handle: Any) -> None:
         self._handles.pop(id(handle), None)
+        self._polled.discard(id(handle))
+
+    def handle_polled(self, handle: Any) -> None:
+        if id(handle) in self._handles:
+            self._polled.add(id(handle))
 
     def chan_wait(self, tid: int, chan: Any, kernel: Any,
                   site: tuple[str, int]) -> None:
@@ -94,12 +103,21 @@ class LeakRegistry:
             owner = kernel_ref()
             if owner is None or owner is kernel:
                 del self._handles[key]
+                polled = key in self._polled
+                self._polled.discard(key)
                 if owner is kernel:
+                    message = (
+                        "ResultHandle created here was polled with "
+                        "is_ready() but never awaited — the remote "
+                        "result was computed and dropped"
+                        if polled else
+                        "ResultHandle created here was never awaited "
+                        "(get_result never called) — the remote result "
+                        "was computed and dropped"
+                    )
                     leaks.append((
                         "san-leak-handle",
-                        "ResultHandle created here was never awaited "
-                        "(get_result/is_ready never called) — the remote "
-                        "result was computed and dropped",
+                        message,
                         site,
                         "ResultHandle",
                     ))

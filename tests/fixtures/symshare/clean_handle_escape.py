@@ -1,0 +1,27 @@
+"""Clean twin: escaped handles that are awaited somewhere.
+Must produce ZERO symshare findings."""
+
+
+class Courier:
+    def stash(self, obj):
+        self._pending = obj.ainvoke("deliver")
+
+    def collect(self):
+        return self._pending.get_result()
+
+
+def kick_off(obj):
+    return obj.ainvoke("deliver")
+
+
+def awaited_inline(obj):
+    return kick_off(obj).get_result()
+
+
+def awaited_later(obj):
+    pending = kick_off(obj)
+    return pending.get_result()
+
+
+def propagated(obj):
+    return kick_off(obj)  # the handle travels up; callers decide

@@ -1,0 +1,35 @@
+"""Clean twin: locks and files used locally, plain data sent remotely.
+Must produce ZERO symshare findings."""
+
+import threading
+
+
+def guarded_send(obj, items):
+    mu = threading.Lock()
+    with mu:
+        payload = list(items)
+    obj.sinvoke("work", payload)
+
+
+def read_then_send(obj, path):
+    with open(path) as fh:
+        text = fh.read()
+    obj.ainvoke("load", text).get_result()
+
+
+def forward(target, payload):
+    target.oinvoke("accept", payload)
+
+
+def relay_data(target, items):
+    forward(target, items)  # plain data through the same relay
+
+
+class Holder:
+    def __init__(self):
+        self._mu = threading.Lock()
+
+    def ship(self, obj, items):
+        with self._mu:
+            snapshot = list(items)
+        obj.sinvoke("sync", snapshot)

@@ -1,0 +1,32 @@
+"""Clean twin: every near-miss of mutate-after-send, written the way
+the rule's message recommends.  Must produce ZERO symshare findings."""
+
+
+def await_then_mutate(obj, data):
+    handle = obj.ainvoke("scale", data)
+    result = handle.get_result()
+    data.append(0)  # after the await: ordering is explicit
+    return result
+
+
+def mutate_unrelated(obj, data, extra):
+    handle = obj.ainvoke("scale", data)
+    extra.append(0)  # different object, not aliased to the payload
+    return handle.get_result()
+
+
+def rebind_then_mutate(obj, data):
+    handle = obj.ainvoke("scale", data)
+    data = []
+    data.append(0)  # rebound name: a fresh object, not the sent one
+    return handle.get_result()
+
+
+def measure(xs):
+    return len(xs)
+
+
+def harmless_callee(obj, data):
+    handle = obj.ainvoke("scale", data)
+    measure(data)  # callee only reads; its summary mutates nothing
+    return handle.get_result()

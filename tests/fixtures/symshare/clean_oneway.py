@@ -1,0 +1,18 @@
+"""Clean twin: oinvoke fire-and-forget, ainvoke when the result
+matters.  Must produce ZERO symshare findings."""
+
+
+def fire_only(obj, item):
+    obj.oinvoke("fire", [item])
+
+
+def await_async(obj, item):
+    receipt = obj.ainvoke("fire", [item])
+    return receipt.get_result()
+
+
+def poll_async(obj):
+    receipt = obj.ainvoke("fire")
+    if receipt.is_ready():
+        return receipt.get_result()
+    return None

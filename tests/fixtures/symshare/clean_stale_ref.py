@@ -1,0 +1,27 @@
+"""Clean twin: locations resolved fresh or used before the migrate.
+Must produce ZERO symshare findings."""
+
+
+def re_resolve(obj, target):
+    obj.migrate(target)
+    where = obj.get_node()  # resolved after the move: still valid
+    return JSObj("Worker", where)
+
+
+def use_before_migrate(obj, target):
+    where = obj.get_node()
+    spawned = JSObj("Worker", where)  # used while still valid
+    obj.migrate(target)
+    return spawned
+
+
+def other_object_moves(obj, other):
+    where = obj.get_node()
+    other.migrate("node5")  # a different object migrated
+    return JSObj("Worker", where)
+
+
+def refresh_after_move(obj, other, target):
+    obj.migrate(target)
+    spot = obj.get_node()
+    other.migrate(spot)

@@ -1,0 +1,24 @@
+"""Fixture: handles that escape and are provably never awaited
+(handle-escapes-unawaited)."""
+
+
+class Courier:
+    def stash(self, obj):
+        # No code in the project ever reads _parked_handle.
+        self._parked_handle = obj.ainvoke("deliver")  # <<ESCAPE_FIELD>>
+
+
+def kick_off(obj):
+    return obj.ainvoke("deliver")
+
+
+def forget_bare(obj):
+    # symloc's dropped-result-handle cannot see this: the ainvoke hides
+    # behind kick_off, so only the returns-handle summary catches it.
+    kick_off(obj)  # <<ESCAPE_DROPPED_WRAPPER>>
+    return True
+
+
+def forget_named(obj):
+    pending = kick_off(obj)  # <<ESCAPE_DEAD_NAME>>
+    return True

@@ -1,0 +1,38 @@
+"""Fixture: live local resources flowing into remote-invoke arguments
+(live-resource-in-remote-arg)."""
+
+import threading
+
+
+def send_lock(obj):
+    mu = threading.Lock()
+    obj.sinvoke("work", mu)  # <<RESOURCE_LOCK>>
+
+
+def send_file(obj, path):
+    fh = open(path)
+    obj.ainvoke("load", fh)  # <<RESOURCE_FILE>>
+
+
+def send_handle(obj, other):
+    handle = obj.ainvoke("produce")
+    other.sinvoke("observe", handle)  # <<RESOURCE_HANDLE>>
+
+
+def forward(target, payload):
+    target.oinvoke("accept", payload)
+
+
+def relay_lock(target):
+    # The remote hop hides inside forward(); only the escape summary
+    # (forward's payload parameter escapes remotely) can see it.
+    guard = threading.Lock()
+    forward(target, guard)  # <<RESOURCE_VIA_CALLEE>>
+
+
+class Shipper:
+    def __init__(self):
+        self._mu = threading.Lock()
+
+    def ship(self, obj):
+        obj.sinvoke("sync", self._mu)  # <<RESOURCE_SELF_LOCK>>

@@ -1,0 +1,40 @@
+"""Fixture: objects mutated after being sent by copy, before the
+handle is awaited (mutate-after-send)."""
+
+
+def mutate_direct(obj, data):
+    handle = obj.ainvoke("scale", data)
+    data.append(0)  # <<MUTATE_DIRECT>>
+    return handle.get_result()
+
+
+def mutate_alias(obj, data):
+    view = data
+    handle = obj.ainvoke("scale", data)
+    view.append(0)  # <<MUTATE_ALIAS>>
+    return handle.get_result()
+
+
+def bump(counts):
+    counts.append(1)
+
+
+def mutate_via_callee(obj, counts):
+    # The mutation hides inside bump(); only the interprocedural
+    # escape summary (bump mutates its parameter) can see it.
+    handle = obj.ainvoke("tally", counts)
+    bump(counts)  # <<MUTATE_VIA_CALLEE>>
+    return handle.get_result()
+
+
+def mutate_polled(obj, data):
+    handle = obj.ainvoke("scale", data)
+    if not handle.is_ready():
+        data.append(0)  # <<MUTATE_POLLED>>
+    return handle.get_result()
+
+
+def mutate_discarded(obj, data):
+    obj.ainvoke("scale", data)
+    data.append(1)  # <<MUTATE_DISCARDED>>
+    return len(data)

@@ -1,0 +1,18 @@
+"""Fixture: one-sided oinvoke "results" that get consumed
+(oneway-result-consumed)."""
+
+
+def await_oneway(obj, item):
+    receipt = obj.oinvoke("fire", [item])
+    return receipt.get_result()  # <<ONEWAY_AWAIT>>
+
+
+def poll_oneway(obj):
+    receipt = obj.oinvoke("fire")
+    if receipt.is_ready():  # <<ONEWAY_POLL>>
+        return True
+    return False
+
+
+def chained_oneway(obj):
+    return obj.oinvoke("fire").get_result()  # <<ONEWAY_CHAIN>>

@@ -1,0 +1,21 @@
+"""Fixture: locations cached before a migrate, used after it
+(stale-ref-after-migrate)."""
+
+
+def place_on_stale(obj, target):
+    where = obj.get_node()
+    obj.migrate(target)
+    return JSObj("Worker", where)  # <<STALE_PLACEMENT>>
+
+
+def migrate_to_stale(obj, other, target):
+    spot = obj.get_node()
+    obj.migrate(target)
+    other.migrate(spot)  # <<STALE_MIGRATE_TARGET>>
+
+
+def stale_via_alias(obj):
+    peer = obj
+    spot = obj.get_node()
+    peer.migrate("node2")
+    return JSObj("Worker", spot)  # <<STALE_VIA_ALIAS>>

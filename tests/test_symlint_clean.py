@@ -64,6 +64,20 @@ def test_locality_gate_repo_wide():
     )
 
 
+def test_symshare_gate_repo_wide():
+    """symshare runs clean over the runtime, the examples and the test
+    suite: no mutation inside a send window, no live resource in a
+    remote argument, no stale placement, no consumed oneway result, no
+    escaped-and-forgotten handle.  Fixture directories are excluded —
+    they are the seeded-bug corpus and *must* fire."""
+    test_files = sorted(glob.glob(os.path.join(TESTS_DIR, "*.py")))
+    paths = [PACKAGE_DIR, EXAMPLES_DIR] + test_files
+    report = analyze_paths(paths, rules=rule_groups()["symshare"])
+    assert report.findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule}: {f.message}" for f in report.findings
+    )
+
+
 def test_cli_lint_default_paths_exits_zero(capsys):
     assert cli_main(["lint"]) == 0
     out = capsys.readouterr().out

@@ -285,6 +285,33 @@ class TestLeaks:
             kernel.shutdown()
         assert rules_of(san) == []
 
+    def test_polling_does_not_suppress_handle_leak(self):
+        # Regression: is_ready() used to call handle_awaited, so a single
+        # poll silently untracked the handle and the leak vanished.
+        san = Sanitizer(leaks=True)
+        with sanitizing(san):
+            kernel = RealKernel(time_scale=0.005)
+            done = kernel.create_future()
+            done.set_result(1)
+            handle = ResultHandle(done)
+            assert handle.is_ready()  # polled, never awaited
+            kernel.shutdown()
+        assert rules_of(san) == ["san-leak-handle"]
+        (finding,) = san.report().findings
+        assert "polled with is_ready() but never awaited" in finding.message
+
+    def test_poll_then_await_is_not_a_leak(self):
+        san = Sanitizer(leaks=True)
+        with sanitizing(san):
+            kernel = RealKernel(time_scale=0.005)
+            done = kernel.create_future()
+            done.set_result(3)
+            handle = ResultHandle(done)
+            assert handle.is_ready()
+            assert handle.get_result() == 3
+            kernel.shutdown()
+        assert rules_of(san) == []
+
     def test_leaks_off_by_default(self):
         san = Sanitizer()
         with sanitizing(san):

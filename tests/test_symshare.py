@@ -1,0 +1,376 @@
+"""symshare finds exactly the copy-semantics defects seeded in its
+fixtures, and its engines hold their algebraic contracts.
+
+Fixture files under ``tests/fixtures/symshare/`` carry ``# <<MARKER>>``
+comments on the seeded lines (the symloc convention); every seeded file
+has a near-miss clean twin that must stay silent.  The second half of
+the module checks the typestate solver on randomized CFGs: it
+terminates, the solution it reports is a genuine fixpoint of the
+transfer function, and re-solving is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+import random
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Severity, analyze_paths
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.cfg import function_cfgs
+from repro.analysis.runner import rule_groups
+from repro.analysis.share import HANDLE_SPEC
+from repro.analysis.typestate import TSEvent, TypestateAnalysis
+
+FIXTURES = Path(__file__).parent / "fixtures" / "symshare"
+SYMSHARE_RULES = rule_groups()["symshare"]
+
+CLEAN_TWINS = [
+    "clean_mutate_after_send.py",
+    "clean_live_resource.py",
+    "clean_stale_ref.py",
+    "clean_oneway.py",
+    "clean_handle_escape.py",
+]
+
+
+def marker_line(fixture: str, marker: str) -> int:
+    text = (FIXTURES / fixture).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if f"<<{marker}>>" in line:
+            return lineno
+    raise AssertionError(f"marker {marker} not found in {fixture}")
+
+
+def run(*fixtures: str):
+    return analyze_paths(
+        [str(FIXTURES / f) for f in fixtures], rules=SYMSHARE_RULES
+    )
+
+
+def by_rule(report, rule: str):
+    return [f for f in report.findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# mutate-after-send
+# ---------------------------------------------------------------------------
+
+
+def test_every_mutate_after_send_variant_detected():
+    report = run("seeded_mutate_after_send.py")
+    hits = by_rule(report, "mutate-after-send")
+    assert {f.line for f in hits} == {
+        marker_line("seeded_mutate_after_send.py", m)
+        for m in ("MUTATE_DIRECT", "MUTATE_ALIAS", "MUTATE_VIA_CALLEE",
+                  "MUTATE_POLLED", "MUTATE_DISCARDED")
+    }
+    assert all(f.severity is Severity.ERROR for f in hits)
+    assert len(report.findings) == 5
+
+
+def test_mutate_after_send_sees_through_callee():
+    """The interprocedural catch: the mutation hides inside ``bump``,
+    only the callee's mutates-summary can connect it to the window."""
+    report = run("seeded_mutate_after_send.py")
+    via = [
+        f for f in by_rule(report, "mutate-after-send")
+        if f.line == marker_line("seeded_mutate_after_send.py",
+                                 "MUTATE_VIA_CALLEE")
+    ]
+    assert len(via) == 1
+    assert via[0].severity is Severity.ERROR
+
+
+def test_polled_handle_still_holds_window_open():
+    report = run("seeded_mutate_after_send.py")
+    polled = [
+        f for f in by_rule(report, "mutate-after-send")
+        if f.line == marker_line("seeded_mutate_after_send.py",
+                                 "MUTATE_POLLED")
+    ]
+    assert len(polled) == 1
+
+
+# ---------------------------------------------------------------------------
+# live-resource-in-remote-arg
+# ---------------------------------------------------------------------------
+
+
+def test_every_live_resource_variant_detected():
+    report = run("seeded_live_resource.py")
+    hits = by_rule(report, "live-resource-in-remote-arg")
+    assert {f.line for f in hits} == {
+        marker_line("seeded_live_resource.py", m)
+        for m in ("RESOURCE_LOCK", "RESOURCE_FILE", "RESOURCE_HANDLE",
+                  "RESOURCE_VIA_CALLEE", "RESOURCE_SELF_LOCK")
+    }
+    assert all(f.severity is Severity.ERROR for f in hits)
+    assert len(report.findings) == 5
+
+
+def test_live_resource_sees_through_callee():
+    """The interprocedural catch: ``relay_lock`` never invokes anything
+    itself — the lock reaches the wire through ``forward``'s
+    remote-escaping parameter summary."""
+    report = run("seeded_live_resource.py")
+    via = [
+        f for f in by_rule(report, "live-resource-in-remote-arg")
+        if f.line == marker_line("seeded_live_resource.py",
+                                 "RESOURCE_VIA_CALLEE")
+    ]
+    assert len(via) == 1
+
+
+# ---------------------------------------------------------------------------
+# stale-ref-after-migrate / oneway-result-consumed / handle escapes
+# ---------------------------------------------------------------------------
+
+
+def test_every_stale_ref_variant_detected():
+    report = run("seeded_stale_ref.py")
+    hits = by_rule(report, "stale-ref-after-migrate")
+    assert {f.line for f in hits} == {
+        marker_line("seeded_stale_ref.py", m)
+        for m in ("STALE_PLACEMENT", "STALE_MIGRATE_TARGET",
+                  "STALE_VIA_ALIAS")
+    }
+    assert all(f.severity is Severity.WARNING for f in hits)
+    assert len(report.findings) == 3
+
+
+def test_every_oneway_variant_detected():
+    report = run("seeded_oneway.py")
+    hits = by_rule(report, "oneway-result-consumed")
+    assert {f.line for f in hits} == {
+        marker_line("seeded_oneway.py", m)
+        for m in ("ONEWAY_AWAIT", "ONEWAY_POLL", "ONEWAY_CHAIN")
+    }
+    assert all(f.severity is Severity.ERROR for f in hits)
+    assert len(report.findings) == 3
+
+
+def test_every_handle_escape_variant_detected():
+    report = run("seeded_handle_escape.py")
+    hits = by_rule(report, "handle-escapes-unawaited")
+    assert {f.line for f in hits} == {
+        marker_line("seeded_handle_escape.py", m)
+        for m in ("ESCAPE_FIELD", "ESCAPE_DROPPED_WRAPPER",
+                  "ESCAPE_DEAD_NAME")
+    }
+    assert all(f.severity is Severity.WARNING for f in hits)
+    assert len(report.findings) == 3
+
+
+def test_clean_twins_stay_silent():
+    for twin in CLEAN_TWINS:
+        report = run(twin)
+        assert report.findings == [], "\n".join(
+            f"{twin}:{f.line}: {f.rule}: {f.message}"
+            for f in report.findings
+        )
+
+
+def test_whole_corpus_totals():
+    report = run(*sorted(p.name for p in FIXTURES.glob("*.py")))
+    errors = [
+        f for f in report.findings if f.severity is Severity.ERROR
+    ]
+    warnings = [
+        f for f in report.findings if f.severity is Severity.WARNING
+    ]
+    assert len(errors) == 13
+    assert len(warnings) == 6
+
+
+# ---------------------------------------------------------------------------
+# alias engine
+# ---------------------------------------------------------------------------
+
+
+def _cfg_of(source: str, name: str = "f"):
+    tree = ast.parse(textwrap.dedent(source))
+    for qualname, _func, cfg in function_cfgs(tree):
+        if qualname == name:
+            return cfg
+    raise AssertionError(f"no function {name}")
+
+
+def _site(cfg, lineno: int):
+    for block, idx, stmt in cfg.statements():
+        if getattr(stmt, "lineno", None) == lineno:
+            return block, idx
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+def test_alias_copy_chain_is_must_and_may():
+    cfg = _cfg_of(
+        """
+        def f(data):
+            view = data
+            view.append(1)
+        """
+    )
+    aliases = AliasAnalysis(cfg)
+    block, idx = _site(cfg, 4)
+    assert aliases.may_aliases(block, idx, "view") >= {"view", "data"}
+    assert aliases.must_alias(block, idx, "view", "data")
+
+
+def test_alias_broken_by_rebind():
+    cfg = _cfg_of(
+        """
+        def f(data):
+            view = data
+            view = []
+            view.append(1)
+        """
+    )
+    aliases = AliasAnalysis(cfg)
+    block, idx = _site(cfg, 5)
+    assert "data" not in aliases.may_aliases(block, idx, "view")
+    assert not aliases.must_alias(block, idx, "view", "data")
+
+
+def test_alias_branch_merge_is_may_not_must():
+    cfg = _cfg_of(
+        """
+        def f(data, other, flag):
+            if flag:
+                view = data
+            else:
+                view = other
+            view.append(1)
+        """
+    )
+    aliases = AliasAnalysis(cfg)
+    block, idx = _site(cfg, 7)
+    may = aliases.may_aliases(block, idx, "view")
+    assert {"data", "other"} <= may
+    assert not aliases.must_alias(block, idx, "view", "data")
+
+
+# ---------------------------------------------------------------------------
+# typestate solver: properties on randomized CFGs
+# ---------------------------------------------------------------------------
+
+_EVENT_STMTS = [
+    "h{b} = obj.ainvoke('m')",
+    "h{b} = obj.oinvoke('m')",
+    "h{u}.get_result()",
+    "h{u}.is_ready()",
+    "h{b} = h{u}",
+    "h{b} = 0",
+    "other = obj.work()",
+]
+
+
+def _gen_body(rng: random.Random, depth: int, names: int) -> list[str]:
+    lines: list[str] = []
+    for _ in range(rng.randint(1, 4)):
+        roll = rng.random()
+        if depth < 2 and roll < 0.2:
+            lines.append(f"if obj.flag{rng.randint(0, 2)}:")
+            lines += [
+                "    " + line
+                for line in _gen_body(rng, depth + 1, names)
+            ]
+            if rng.random() < 0.5:
+                lines.append("else:")
+                lines += [
+                    "    " + line
+                    for line in _gen_body(rng, depth + 1, names)
+                ]
+        elif depth < 2 and roll < 0.3:
+            lines.append(f"while obj.flag{rng.randint(0, 2)}:")
+            lines += [
+                "    " + line
+                for line in _gen_body(rng, depth + 1, names)
+            ]
+        else:
+            template = rng.choice(_EVENT_STMTS)
+            lines.append(template.format(
+                b=rng.randint(0, names - 1), u=rng.randint(0, names - 1)
+            ))
+    return lines
+
+
+def _gen_function(seed: int) -> str:
+    rng = random.Random(seed)
+    names = rng.randint(2, 4)
+    body = ["h0 = obj.ainvoke('seed')"]
+    body += _gen_body(rng, 0, names)
+    body.append("return None")
+    return "def f(obj):\n" + "\n".join("    " + line for line in body)
+
+
+def _events_of(stmt: ast.AST):
+    """Recognize handle births/awaits/polls the way the symshare
+    checker does, reduced to the shapes the generator emits."""
+    events = []
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call) or \
+                not isinstance(node.func, ast.Attribute):
+            continue
+        recv, attr = node.func.value, node.func.attr
+        if attr in ("ainvoke", "oinvoke") and \
+                isinstance(stmt, ast.Assign) and \
+                isinstance(stmt.targets[0], ast.Name):
+            kind = "@handle" if attr == "ainvoke" else "@oneway"
+            events.append(TSEvent(stmt.targets[0].id, kind, node))
+        elif attr == "get_result" and isinstance(recv, ast.Name):
+            events.append(TSEvent(recv.id, "await", node))
+        elif attr == "is_ready" and isinstance(recv, ast.Name):
+            events.append(TSEvent(recv.id, "poll", node))
+    return events
+
+
+def _solve(seed: int) -> TypestateAnalysis:
+    source = _gen_function(seed)
+    tree = ast.parse(source)
+    (_qualname, _func, cfg), = list(function_cfgs(tree))
+    return TypestateAnalysis(cfg, HANDLE_SPEC, _events_of)
+
+
+def test_typestate_terminates_and_reaches_a_fixpoint():
+    """On 40 randomized CFGs (branches, loops, copies, rebinds) the
+    solver terminates and its solution satisfies the dataflow
+    equations: in = join of preds' out, out = transfer(in)."""
+    for seed in range(40):
+        ts = _solve(seed)
+        blocks = {b.id: b for b in ts.cfg.blocks}
+        for block in ts.cfg.blocks:
+            merged = frozenset().union(
+                *(ts.out[p] for p in block.preds)
+            ) if block.preds else frozenset()
+            assert ts.in_[block.id] == merged, f"seed {seed}"
+            assert ts._transfer_block(block, ts.in_[block.id]) == \
+                ts.out[block.id], f"seed {seed}"
+
+
+def test_typestate_resolve_is_deterministic():
+    for seed in range(20):
+        first, second = _solve(seed), _solve(seed)
+        assert first.in_ == second.in_
+        assert first.out == second.out
+        assert [
+            (v.error, v.name, v.state) for v in first.violations()
+        ] == [
+            (v.error, v.name, v.state) for v in second.violations()
+        ]
+
+
+def test_typestate_facts_stay_in_finite_universe():
+    """Every solved fact is (known name, known state) — the universe
+    the termination argument quantifies over."""
+    states = set(HANDLE_SPEC.births.values())
+    states |= set(HANDLE_SPEC.transitions.values())
+    if HANDLE_SPEC.escape_state is not None:
+        states.add(HANDLE_SPEC.escape_state)
+    for seed in range(20):
+        ts = _solve(seed)
+        for facts in ts.out.values():
+            for name, state in facts:
+                assert state in states
+                assert name.isidentifier()
