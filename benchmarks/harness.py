@@ -12,9 +12,12 @@ that matter for the reproduction — simulated seconds — are attached to
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from dataclasses import dataclass
 
+from repro.agents.nas import NASConfig
 from repro.apps.matmul import MatmulConfig, run_matmul, sequential_matmul_time
 from repro.cluster import TestbedConfig, vienna_testbed
 from repro.obs import Tracer, set_tracer
@@ -122,6 +125,91 @@ def print_fig5_table(n: int, night: list[Fig5Point],
         title=(f"Figure 5 | matmul {n}x{n} on the simulated Vienna "
                "cluster (1 node = sequential, no JavaSymphony)"),
     ))
+
+
+# -- telemetry-plane bench trajectory (BENCH_obs.json) -----------------------
+
+#: committed artifact: scalar vs telemetry-enabled run comparison
+BENCH_OBS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_obs.json")
+
+
+def _telemetry_run(traced: bool, n: int, nodes: int, seed: int,
+                   period: float) -> dict:
+    """One matmul run with the telemetry plane on (ambient tracer, NAS
+    heartbeat piggyback) or fully off (NullTracer).  Same seed either
+    way, so the simulated schedules are comparable."""
+    set_tracer(Tracer() if traced else None)
+    try:
+        config = TestbedConfig(
+            load_profile="night", seed=seed,
+            nas=NASConfig(monitor_period=period, probe_period=period),
+        )
+        runtime = vienna_testbed(config)
+        wall0 = time.perf_counter()
+        result = runtime.run_app(
+            lambda: run_matmul(
+                MatmulConfig(n=n, nr_nodes=nodes, real_compute=False)
+            )
+        )
+        wall = time.perf_counter() - wall0
+        doc = {
+            "telemetry": traced,
+            "simulated_elapsed_s": result.elapsed,
+            "wall_s": round(wall, 4),
+            "messages": runtime.transport.stats.messages,
+            "bytes": runtime.transport.stats.bytes_total,
+        }
+        if traced:
+            tracer = runtime.world.tracer
+            counters = tracer.metrics.snapshot()["counters"]
+            doc["counters"] = {
+                name: counters[name]
+                for name in ("nas.samples", "nas.telemetry.windows",
+                             "nas.telemetry.bytes")
+                if name in counters
+            }
+            cluster = runtime.nas.cluster_metrics()
+            doc["ingested_windows"] = cluster.ingested if cluster else 0
+            doc["hosts_reporting"] = len(cluster.hosts()) if cluster else 0
+            merged = (cluster.merged_snapshot() if cluster
+                      and cluster.ingested
+                      else tracer.merged_host_metrics())
+            doc["histogram_families"] = sorted(merged["histograms"])
+        return doc
+    finally:
+        set_tracer(None)
+
+
+def telemetry_comparison(n: int = 256, nodes: int = 8, seed: int = 7,
+                         period: float = 1.0) -> dict:
+    """Scalar (telemetry off) vs telemetry-enabled same-seed matmul: the
+    BENCH_obs.json document.  ``simulated_ratio`` is the heartbeat
+    piggyback's cost in *simulated* time — the wire/CPU charge of the
+    extra delta bytes — which the overhead gate bounds."""
+    off = _telemetry_run(False, n, nodes, seed, period)
+    on = _telemetry_run(True, n, nodes, seed, period)
+    return {
+        "benchmark": "telemetry-overhead",
+        "workload": {"app": "matmul", "n": n, "nodes": nodes,
+                     "seed": seed, "monitor_period_s": period,
+                     "profile": "night"},
+        "off": off,
+        "on": on,
+        "simulated_ratio": on["simulated_elapsed_s"]
+        / off["simulated_elapsed_s"],
+        "extra_messages": on["messages"] - off["messages"],
+        "extra_bytes": on["bytes"] - off["bytes"],
+    }
+
+
+def write_bench_obs(path: str = BENCH_OBS_PATH, **kwargs) -> dict:
+    """Run :func:`telemetry_comparison` and write the committed
+    ``BENCH_obs.json`` artifact (the start of the bench trajectory)."""
+    doc = telemetry_comparison(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc
 
 
 def best(series: list[Fig5Point]) -> Fig5Point:

@@ -59,3 +59,20 @@ def test_monitoring_period_sweep(benchmark):
     assert results[0.25] > 1.2 * results[5.0]
     # ...while relaxing beyond a sane period stops paying anything.
     assert results[20.0] == pytest.approx(results[5.0], rel=0.05)
+
+
+def test_telemetry_overhead_bounded(benchmark):
+    """The telemetry piggyback's overhead gate: shipping per-host
+    metrics deltas on the existing heartbeat must stay within 5% of the
+    same-seed run with the whole obs plane off.  Also (re)writes the
+    committed ``BENCH_obs.json`` artifact."""
+    from harness import write_bench_obs
+
+    doc = benchmark.pedantic(write_bench_obs, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_ratio"] = doc["simulated_ratio"]
+    benchmark.extra_info["extra_bytes"] = doc["extra_bytes"]
+    # Deltas reuse heartbeat messages: zero extra messages, only bytes.
+    assert doc["extra_messages"] == 0
+    assert doc["extra_bytes"] > 0
+    assert doc["on"]["ingested_windows"] > 0
+    assert doc["simulated_ratio"] <= 1.05

@@ -238,7 +238,7 @@ class AppOA(HolderEndpoints):
                 actor=str(self.addr), obj_id=obj_id, class_name=class_name,
                 location=str(location),
             )
-            self.tracer.count("obj.created")
+            self.tracer.count("obj.created", host=self.home)
         return ref
 
     def free_object(self, ref: ObjectRef) -> None:
@@ -262,7 +262,7 @@ class AppOA(HolderEndpoints):
                 actor=str(self.addr), obj_id=ref.obj_id,
                 class_name=ref.class_name, location=str(entry.location),
             )
-            self.tracer.count("obj.freed")
+            self.tracer.count("obj.freed", host=self.home)
 
     def _own_entry(self, ref: ObjectRef) -> RefEntry:
         entry = self.refs.get(ref.obj_id)
@@ -335,8 +335,8 @@ class AppOA(HolderEndpoints):
         finally:
             now = self.world.now()
             tracer.end_span(span, ts=now)
-            tracer.count("invoke.sync")
-            tracer.observe("invoke.latency:sync", now - t0)
+            tracer.count("invoke.sync", host=self.home)
+            tracer.observe("invoke.latency:sync", now - t0, host=self.home)
 
     def ainvoke(
         self, ref: ObjectRef, method: str, params: Any = ()
@@ -378,8 +378,8 @@ class AppOA(HolderEndpoints):
                 if inv_span is not None:
                     now = self.world.now()
                     tracer.end_span(inv_span, ts=now)
-                    tracer.count("invoke.async")
-                    tracer.observe("invoke.latency:async", now - t0)
+                    tracer.count("invoke.async", host=self.home)
+                    tracer.observe("invoke.latency:async", now - t0, host=self.home)
 
         kernel.spawn(
             worker, name=f"ainvoke-{method}@{self.app_id}", context={}
@@ -433,7 +433,7 @@ class AppOA(HolderEndpoints):
                     finally:
                         if span is not None:
                             tracer.end_span(span, ts=self.world.now())
-                            tracer.count("invoke.oneway")
+                            tracer.count("invoke.oneway", host=self.home)
 
                 self.world.kernel.spawn(
                     fire, name=f"oinvoke-{method}@{self.app_id}", context={}
@@ -445,7 +445,7 @@ class AppOA(HolderEndpoints):
         finally:
             if span is not None and span.installed:
                 tracer.end_span(span, ts=self.world.now())
-                tracer.count("invoke.oneway")
+                tracer.count("invoke.oneway", host=self.home)
 
     # ------------------------------------------------------------------------
     # bulk invocation (extension: per-destination request batching)
@@ -543,9 +543,9 @@ class AppOA(HolderEndpoints):
                 self._run_batch(dest, group)
             finally:
                 if tracer.enabled:
-                    tracer.count("invoke.batched", len(group))
-                    tracer.count("invoke.batch.messages")
-                    tracer.observe("batch.size", len(group))
+                    tracer.count("invoke.batched", len(group), host=self.home)
+                    tracer.count("invoke.batch.messages", host=self.home)
+                    tracer.observe("batch.size", len(group), host=self.home)
                 if bspan is not None:
                     tracer.end_span(bspan, ts=self.world.now())
 
@@ -752,8 +752,8 @@ class AppOA(HolderEndpoints):
         if mspan is not None:
             duration = self.world.now() - t0
             tracer.end_span(mspan, ts=self.world.now())
-            tracer.count("migrations")
-            tracer.observe("migrate.duration", duration)
+            tracer.count("migrations", host=self.home)
+            tracer.observe("migrate.duration", duration, host=self.home)
         return dst
 
     def _drain_pending(self, entry: RefEntry) -> None:
@@ -770,6 +770,7 @@ class AppOA(HolderEndpoints):
             return
         self.flush_invokes()  # buffered coalesced calls count as pending
         kernel = self.world.kernel
+        drain_start = self.world.now()
         timeout = self.runtime.shell.config.migrate_drain_timeout
         # Event-driven, not polled: _pending_decr completes the waiter
         # on the 0-transition, so the drain costs one wakeup instead of
@@ -787,6 +788,12 @@ class AppOA(HolderEndpoints):
                 with self._pending_lock:
                     if waiter in entry.drain_waiters:
                         entry.drain_waiters.remove(waiter)
+        tracer = self.tracer
+        if tracer.enabled:
+            # How long invocations stayed pending against this migration;
+            # the SLO watcher's pending-age rule reads the windowed max.
+            tracer.observe("migrate.pending_age",
+                           self.world.now() - drain_start, host=self.home)
         if not drained and entry.pending > 0:
             san = kernel.sanitizer
             if san.enabled:
@@ -828,7 +835,7 @@ class AppOA(HolderEndpoints):
             raise
         if pspan is not None:
             tracer.end_span(pspan, ts=self.world.now(), key=stored)
-            tracer.count("persist.stores")
+            tracer.count("persist.stores", host=self.home)
         # Remember the latest checkpoint; the optional failure-recovery
         # extension (paper: future work) restores from it.
         entry.meta["checkpoint"] = stored
@@ -910,7 +917,7 @@ class AppOA(HolderEndpoints):
             raise
         if pspan is not None:
             tracer.end_span(pspan, ts=self.world.now(), obj_id=obj_id)
-            tracer.count("persist.loads")
+            tracer.count("persist.loads", host=self.home)
         ref = ObjectRef(obj_id, class_name, self.addr, location)
         san = self.world.kernel.sanitizer
         if san.enabled:

@@ -95,7 +95,8 @@ class HolderEndpoints(ObjectHolder):
         calls = msg.payload
         tracer = self.world.tracer
         if tracer.enabled:
-            tracer.count("invoke.batch.dispatched", len(calls))
+            tracer.count("invoke.batch.dispatched", len(calls),
+                         host=self.addr.host)
         return self.dispatch_invoke_batch(calls)
 
     def _h_oneway_invoke(self, msg):

@@ -38,6 +38,15 @@ class NASConfig:
     failure_timeout: float = 2.0
     history_depth: int = 4
     n_backups: int = 2
+    #: ship per-host metrics deltas on the monitor heartbeat and keep a
+    #: ClusterMetrics aggregate (+ SLO watcher) at the domain manager
+    telemetry: bool = True
+    #: sliding windows retained per host in the aggregate
+    telemetry_windows: int = 16
+    #: SLO rule lines (None -> repro.obs.slo.DEFAULT_RULES)
+    slo_rules: tuple[str, ...] | None = None
+    #: windows between repeated alerts for a persisting breach
+    slo_refire_windows: int = 8
 
 
 @dataclass
@@ -72,6 +81,22 @@ class NetworkAgentSystem:
         }
         self.agents: dict[str, NetworkAgent] = {}
         self.events: list[NASEvent] = []
+        # The telemetry plane's receiving end.  Owned by the NAS (not a
+        # per-host agent) so the aggregate survives a domain-manager
+        # takeover: the successor's heartbeat keeps ingesting into the
+        # same ClusterMetrics.
+        if self.config.telemetry:
+            from repro.obs.slo import SLOWatcher
+            from repro.obs.timeseries import ClusterMetrics
+
+            self.telemetry: ClusterMetrics | None = ClusterMetrics(
+                window_depth=self.config.telemetry_windows)
+            self.slo: SLOWatcher | None = SLOWatcher(
+                self.config.slo_rules,
+                refire_windows=self.config.slo_refire_windows)
+        else:
+            self.telemetry = None
+            self.slo = None
         #: extension hook (off-path per paper): called on every failure
         self.failure_listeners: list[Callable[[str], None]] = []
         self._started = False
@@ -225,6 +250,68 @@ class NetworkAgentSystem:
             return None
         return average_snapshots(aggregates.values()).params
 
+    # -- telemetry plane -----------------------------------------------------------
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return self.telemetry is not None
+
+    def ingest_deltas(self, deltas) -> None:
+        """Domain-manager side: fold heartbeat-shipped metrics deltas
+        into the cluster aggregate and run the SLO watcher over each
+        host window that just landed.  Only ever called from the current
+        domain manager's monitor tick, so ingestion is serialized."""
+        if self.telemetry is None:
+            return
+        tracer = self.world.tracer
+        for delta in deltas:
+            self.telemetry.ingest(delta)
+            if tracer.enabled:
+                tracer.count("nas.telemetry.windows", host=delta.host)
+                tracer.count("nas.telemetry.bytes", delta.wire_bytes(),
+                             host=delta.host)
+            if self.slo is not None:
+                self.slo.observe_window(self.telemetry, delta.host,
+                                        self.world.now(), tracer)
+
+    def cluster_metrics(self):
+        """The live :class:`~repro.obs.timeseries.ClusterMetrics`
+        aggregate (None when telemetry is off)."""
+        return self.telemetry
+
+    def history_document(self) -> dict:
+        """A JSON-safe view of NAS state for incident bundles: layout,
+        manager assignments, the fault-tolerance event log, and each
+        live agent's latest monitored sample."""
+        samples = {}
+        for host, agent in sorted(self.agents.items()):
+            snap = agent.latest_snapshot()
+            if snap is None:
+                continue
+            samples[host] = {
+                getattr(param, "name", str(param)):
+                    value if isinstance(value, (int, float, str, bool))
+                    else repr(value)
+                for param, value in snap.items()
+            }
+        return {
+            "layout": {
+                site: {cl: list(hosts) for cl, hosts in clusters.items()}
+                for site, clusters in self.layout.items()
+            },
+            "managers": {
+                cluster: {"manager": a.manager, "backups": list(a.backups)}
+                for cluster, a in sorted(self.managers.items())
+            },
+            "events": [
+                {"time": e.time, "kind": e.kind, "detail": dict(e.detail)}
+                for e in self.events
+            ],
+            "samples": samples,
+            "telemetry_windows":
+                self.telemetry.ingested if self.telemetry else 0,
+        }
+
     # -- shell-driven membership ----------------------------------------------------
 
     def add_node(self, host: str, cluster: str, site: str) -> None:
@@ -295,7 +382,7 @@ class NetworkAgentSystem:
                 ev.NAS_RELEASE, ts=self.world.now(), host=host, actor="nas",
                 cluster=cluster, reason=reason,
             )
-            tracer.count("nas.released")
+            tracer.count("nas.released", host=host)
         for listener in self.failure_listeners:
             listener(host)
 

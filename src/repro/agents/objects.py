@@ -167,6 +167,9 @@ class ObjectHolder:
 
     def init_holder(self) -> None:
         self.objects: dict[str, ObjectEntry] = {}
+        #: invocations currently inside dispatch_invoke (waiting or
+        #: executing) — the holder's live congestion gauge
+        self._inflight = 0
         #: obj_id -> forwarding Addr left behind by migration
         self.tombstones: dict[str, Addr] = {}
         #: guards table membership: the transport runs one process per
@@ -263,6 +266,22 @@ class ObjectHolder:
         Returns :class:`Moved`/:class:`UnknownObject` markers for stale or
         unknown handles — the caller-side AppOA interprets them.
         """
+        self._inflight += 1
+        tracer = self.world.tracer
+        if tracer.enabled:
+            # Observed on arrival so the histogram records the depth each
+            # call found, not the depth after it left; the SLO watcher's
+            # queue-depth rule reads the windowed max.
+            tracer.observe("queue.depth", float(self._inflight),
+                           host=self.addr.host)
+        try:
+            return self._dispatch_invoke(obj_id, method_name, params)
+        finally:
+            self._inflight -= 1
+
+    def _dispatch_invoke(
+        self, obj_id: str, method_name: str, params: Any
+    ) -> Any:
         kernel = self.world.kernel
         wait_start = self.world.now()
         while True:
@@ -322,7 +341,8 @@ class ObjectHolder:
             entry.executing -= 1
             if dspan is not None:
                 tracer.end_span(dspan, ts=self.world.now(), flops=flops)
-                tracer.count(f"dispatch:{self.addr.host}")
+                tracer.count(f"dispatch:{self.addr.host}",
+                             host=self.addr.host)
         # The instance may have grown (e.g. init() storing a matrix);
         # refresh the memory accounting.
         new_mem = instance_mem_mb(entry.instance)

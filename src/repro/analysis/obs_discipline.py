@@ -8,8 +8,8 @@ observability — and even the lock-free ``emit`` path pays its cost
 inside the critical section, stretching every contender's wait.  The
 hook-point convention is: leave the ``with`` block first, then trace.
 
-Rule
-----
+Rules
+-----
 ``tracer-call-under-lock`` (warning)
     ``*.emit(...)`` / ``*.count(...)`` / ``*.observe(...)`` /
     ``*.emit_span(...)`` / ``*.begin_span(...)`` / ``*.end_span(...)``
@@ -18,6 +18,17 @@ Rule
     open-span registry and installs thread-local context, and
     ``end_span`` re-enters ``emit`` — none of that belongs inside a
     runtime critical section.
+
+``registry-call-under-lock`` (warning)
+    The same discipline for the rest of the telemetry plane:
+    ``count`` / ``observe`` / ``merge`` / ``merge_snapshot`` /
+    ``ingest`` / ``record`` on a receiver whose attribute chain
+    mentions ``metrics``, ``recorder``, ``flight`` or ``telemetry``,
+    inside a ``with <lock>:`` block.  Registry mutation takes the
+    registry mutex and ``FlightRecorder.record`` snapshots the whole
+    ring — both stretch the caller's critical section and add a
+    runtime→obs lock-order edge.  When the receiver also mentions
+    ``tracer`` the tracer rule wins (one finding, not two).
 
 Lock-ness is judged the same way as in
 :mod:`repro.analysis.lock_discipline`: the context expression's name
@@ -41,6 +52,12 @@ TRACER_METHODS = {
     "emit", "count", "observe", "emit_span", "begin_span", "end_span",
 }
 
+REGISTRY_METHODS = {
+    "count", "observe", "merge", "merge_snapshot", "ingest", "record",
+}
+
+REGISTRY_WORDS = ("metrics", "recorder", "flight", "telemetry")
+
 
 def _attr_chain(expr: ast.AST) -> list[str]:
     """["self", "world", "tracer", "emit"] for self.world.tracer.emit."""
@@ -61,6 +78,16 @@ def _is_tracer_call(call: ast.Call) -> bool:
     return any("tracer" in part.lower() for part in chain[:-1])
 
 
+def _is_registry_call(call: ast.Call) -> bool:
+    chain = _attr_chain(call.func)
+    if len(chain) < 2 or chain[-1] not in REGISTRY_METHODS:
+        return False
+    receiver = [part.lower() for part in chain[:-1]]
+    if any("tracer" in part for part in receiver):
+        return False  # the tracer rule owns this call
+    return any(word in part for part in receiver for word in REGISTRY_WORDS)
+
+
 def _lockish(expr: ast.AST) -> bool:
     chain = _attr_chain(expr)
     return any("lock" in part.lower() for part in chain)
@@ -71,7 +98,7 @@ class _FunctionScanner(ast.NodeVisitor):
 
     def __init__(self) -> None:
         self.held: list[str] = []
-        self.hits: list[tuple[ast.Call, str]] = []
+        self.hits: list[tuple[str, ast.Call, str]] = []
 
     def visit_With(self, node: ast.With) -> None:
         acquired = [
@@ -84,8 +111,15 @@ class _FunctionScanner(ast.NodeVisitor):
         del self.held[len(self.held) - len(acquired):]
 
     def visit_Call(self, node: ast.Call) -> None:
-        if self.held and _is_tracer_call(node):
-            self.hits.append((node, self.held[-1]))
+        if self.held:
+            if _is_tracer_call(node):
+                self.hits.append(
+                    ("tracer-call-under-lock", node, self.held[-1])
+                )
+            elif _is_registry_call(node):
+                self.hits.append(
+                    ("registry-call-under-lock", node, self.held[-1])
+                )
         self.generic_visit(node)
 
     # A nested def under a ``with`` executes later, not under the lock.
@@ -102,6 +136,7 @@ class ObsDisciplineChecker(Checker):
     name = "obs-discipline"
     rules = {
         "tracer-call-under-lock": Severity.WARNING,
+        "registry-call-under-lock": Severity.WARNING,
     }
 
     def check(self, project: Project) -> list[Finding]:
@@ -117,16 +152,18 @@ class ObsDisciplineChecker(Checker):
             scanner = _FunctionScanner()
             for stmt in node.body:
                 scanner.visit(stmt)
-            for call, lock in scanner.hits:
+            for rule, call, lock in scanner.hits:
                 method = call.func.attr if isinstance(
                     call.func, ast.Attribute
                 ) else "?"
+                what = ("tracer" if rule == "tracer-call-under-lock"
+                        else "telemetry registry")
                 yield self.finding(
-                    "tracer-call-under-lock",
+                    rule,
                     module.path,
                     call,
-                    f"tracer.{method}() inside 'with {lock}': move the "
-                    "trace call after the lock is released — it takes "
-                    "the metrics lock and stretches the critical section",
+                    f"{what} .{method}() inside 'with {lock}': move the "
+                    "call after the lock is released — it takes the "
+                    "metrics lock and stretches the critical section",
                     symbol=node.name,
                 )

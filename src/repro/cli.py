@@ -9,6 +9,9 @@
     python -m repro spans matmul --critical-path   # span tree + hot chain
     python -m repro top matmul                # per-node top-style frames
     python -m repro san matmul                # symsan concurrency sanitizer
+    python -m repro metrics matmul --prom     # merged cluster metrics
+    python -m repro metrics matmul --kill greta@3 --incident-dir out/
+    python -m repro incidents out/            # render incident bundles
 """
 
 from __future__ import annotations
@@ -213,30 +216,79 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kill(text: str) -> tuple[str, float]:
+    host, sep, at = text.partition("@")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"bad --kill spec {text!r}; expected HOST@TIME, e.g. greta@3"
+        )
+    try:
+        return host, float(at)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --kill time in {text!r}; expected a number of "
+            "simulated seconds"
+        ) from None
+
+
 def _run_traced(args: argparse.Namespace):
     """Run ``args.target`` (a script path or the 'matmul' builtin) under
-    a fresh ambient tracer and return the tracer, or None if the target
-    does not exist (an error was already printed)."""
+    a fresh ambient tracer.  Returns ``(tracer, runtime)`` — the runtime
+    only for the matmul builtin — or ``(None, None)`` if the target does
+    not exist (an error was already printed)."""
     import os
     import runpy
 
     from repro.obs import Tracer, tracing
 
     target = args.target
+    runtime = None
     with tracing(Tracer()) as tracer:
         if target == "matmul":
-            runtime = vienna_testbed(
-                TestbedConfig(load_profile=args.profile, seed=args.seed)
+            config = TestbedConfig(
+                load_profile=args.profile, seed=args.seed,
+                incident_dir=getattr(args, "incident_dir", None),
             )
+            kill = getattr(args, "kill", None)
+            mutate = None
+            if kill is not None:
+                host, at = kill
+                mutate = lambda w: w.schedule_failure(host, at)
+                # A host is about to die mid-run: bound RPC waits and
+                # tighten failure detection so the run terminates and
+                # the NAS notices the death within the workload.
+                if config.shell.rpc_timeout is None:
+                    config.shell.rpc_timeout = 5.0
+                config.nas.monitor_period = 2.0
+                config.nas.probe_period = 2.0
+                config.nas.failure_timeout = 1.0
+            runtime = vienna_testbed(config, mutate_world=mutate)
             period = getattr(args, "monitor_period", None)
             if period:
                 runtime.nas.config.monitor_period = period
-            runtime.run_app(
-                lambda: run_matmul(
-                    MatmulConfig(n=args.n, nr_nodes=args.nodes,
-                                 real_compute=False)
+            try:
+                runtime.run_app(
+                    lambda: run_matmul(
+                        MatmulConfig(n=args.n, nr_nodes=args.nodes,
+                                     real_compute=False)
+                    )
                 )
-            )
+            except Exception as exc:
+                if kill is None:
+                    raise
+                # Killed-host runs may not finish; the telemetry and
+                # incident bundles captured so far are the point.
+                print(f"workload aborted after --kill: {exc}",
+                      file=sys.stderr)
+            if kill is not None:
+                # Keep the world running past the scheduled failure and
+                # its NAS detection (probes + release protocol), even if
+                # the workload finished first — the flight recorder and
+                # the post-mortem heartbeats are the point of --kill.
+                horizon = (max(runtime.world.now(), kill[1])
+                           + 3.0 * config.nas.probe_period
+                           + config.nas.failure_timeout)
+                runtime.world.kernel.run(until=horizon)
         elif os.path.exists(target):
             # Any example/benchmark script; it builds its own world, which
             # adopts the ambient tracer installed above.
@@ -244,14 +296,14 @@ def _run_traced(args: argparse.Namespace):
         else:
             print(f"no such trace target {target!r}; expected a script "
                   "path or 'matmul'", file=sys.stderr)
-            return None
-    return tracer
+            return None, None
+    return tracer, runtime
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import render_summary, write_chrome_trace
 
-    tracer = _run_traced(args)
+    tracer, _ = _run_traced(args)
     if tracer is None:
         return 2
     if args.json:
@@ -272,7 +324,7 @@ def cmd_spans(args: argparse.Namespace) -> int:
         spans_document,
     )
 
-    tracer = _run_traced(args)
+    tracer, _ = _run_traced(args)
     if tracer is None:
         return 2
     print(render_span_tree(tracer))
@@ -295,7 +347,7 @@ def cmd_spans(args: argparse.Namespace) -> int:
 def cmd_top(args: argparse.Namespace) -> int:
     from repro.obs import frames_from_trace, render_top
 
-    tracer = _run_traced(args)
+    tracer, _ = _run_traced(args)
     if tracer is None:
         return 2
     frames = frames_from_trace(
@@ -306,6 +358,86 @@ def cmd_top(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     print(render_top(frames))
+    return 0
+
+
+def _tracer_metrics_doc(tracer) -> dict:
+    """The metrics document straight off a tracer (script targets,
+    where we have no runtime handle): merged per-host registries plus
+    the per-host snapshots behind the merge."""
+    from repro.obs.timeseries import _jsonable
+
+    host_metrics = getattr(tracer, "host_metrics", None) or {}
+    return {
+        "source": "tracer",
+        "merged": _jsonable(tracer.merged_host_metrics())
+        if host_metrics else {"counters": {}, "histograms": {}},
+        "hosts": {
+            host: _jsonable(host_metrics[host].snapshot())
+            for host in sorted(host_metrics)
+        },
+        "windows": {},
+    }
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_incident, render_prom
+
+    tracer, runtime = _run_traced(args)
+    if tracer is None:
+        return 2
+    doc = (runtime.metrics_document() if runtime is not None
+           else _tracer_metrics_doc(tracer))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, default=repr)
+        print(f"wrote metrics document ({doc['source']}, "
+              f"{len(doc['hosts'])} hosts) to {args.json}",
+              file=sys.stderr)
+    if args.prom or not args.json:
+        sys.stdout.write(render_prom(doc["merged"]))
+    if runtime is not None and runtime.flight.incidents:
+        print(f"\n{len(runtime.flight.incidents)} incident(s) captured:",
+              file=sys.stderr)
+        for bundle in runtime.flight.incidents:
+            where = bundle.get("path") or "(in memory)"
+            print(f"  {bundle['incident_id']}  trigger={bundle['trigger']}"
+                  f"  {where}", file=sys.stderr)
+        if args.show_incidents:
+            for bundle in runtime.flight.incidents:
+                print()
+                print(render_incident(bundle))
+    return 0
+
+
+def cmd_incidents(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import load_bundle, render_incident
+
+    paths: list[str] = []
+    for target in args.bundles:
+        if os.path.isdir(target):
+            paths.extend(
+                os.path.join(target, name)
+                for name in sorted(os.listdir(target))
+                if name.endswith(".json")
+            )
+        elif os.path.exists(target):
+            paths.append(target)
+        else:
+            print(f"no such incident bundle {target!r}", file=sys.stderr)
+            return 2
+    if not paths:
+        print("no incident bundles found", file=sys.stderr)
+        return 1
+    for index, path in enumerate(paths):
+        if index:
+            print()
+        print(render_incident(load_bundle(path),
+                              max_events=args.events))
     return 0
 
 
@@ -492,6 +624,55 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["dedicated", "night", "day"])
     p_top.add_argument("--seed", type=int, default=1)
     p_top.set_defaults(fn=cmd_top)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a script or builtin traced; print the merged cluster "
+             "metrics (Prometheus exposition by default)",
+    )
+    p_metrics.add_argument(
+        "target",
+        help="path to an example/benchmark script, or 'matmul'",
+    )
+    p_metrics.add_argument("--prom", action="store_true",
+                           help="print Prometheus exposition text "
+                                "(the default when --json is not given)")
+    p_metrics.add_argument("--json", default=None, metavar="PATH",
+                           help="write the full metrics document "
+                                "(merged + per-host) as JSON here")
+    p_metrics.add_argument("--kill", type=_parse_kill, default=None,
+                           metavar="HOST@TIME",
+                           help="matmul: fail HOST at TIME simulated "
+                                "seconds to exercise the flight recorder")
+    p_metrics.add_argument("--incident-dir", default=None, metavar="DIR",
+                           help="matmul: write incident bundles here")
+    p_metrics.add_argument("--show-incidents", action="store_true",
+                           help="also render captured incident bundles")
+    p_metrics.add_argument("--monitor-period", type=float, default=0.05,
+                           help="matmul: NAS monitor period (s) so "
+                                "heartbeat deltas land inside short runs; "
+                                "0 keeps the testbed default")
+    p_metrics.add_argument("--n", type=int, default=64,
+                           help="matmul: matrix dimension")
+    p_metrics.add_argument("--nodes", type=int, default=4,
+                           help="matmul: node count")
+    p_metrics.add_argument("--profile", default="night",
+                           choices=["dedicated", "night", "day"])
+    p_metrics.add_argument("--seed", type=int, default=1)
+    p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_inc = sub.add_parser(
+        "incidents",
+        help="render flight-recorder incident bundles (JSON files or "
+             "a directory of them)",
+    )
+    p_inc.add_argument(
+        "bundles", nargs="+",
+        help="incident bundle .json files, or directories of them",
+    )
+    p_inc.add_argument("--events", type=int, default=20,
+                       help="trailing ring events to show per bundle")
+    p_inc.set_defaults(fn=cmd_incidents)
 
     p_san = sub.add_parser(
         "san",

@@ -21,6 +21,11 @@ from repro.agents.shell import JSShell, ShellConfig
 from repro.constraints import JSConstraints
 from repro.core.persistence import PersistentStore
 from repro.errors import AllocationError, RegistrationError
+from repro.obs.flight import (
+    TRIGGER_DEADLOCK,
+    TRIGGER_MIGRATE_PENDING,
+    FlightRecorder,
+)
 from repro.simnet.world import SimWorld
 from repro.sysmon import SysParam
 from repro.transport import Transport
@@ -37,6 +42,7 @@ class JSRuntime:
         shell_config: ShellConfig | None = None,
         persistence_dir: str | None = None,
         pool_policy: str = "available-compute",
+        incident_dir: str | None = None,
     ) -> None:
         self.world = world
         self.kernel = world.kernel
@@ -64,6 +70,21 @@ class JSRuntime:
             self.ensure_pub_oa(host)
         # Keep pool membership in sync when the NAS releases failed nodes.
         self.nas.failure_listeners.append(self._on_node_failure)
+        # The failure flight recorder: trace-event triggers (host.failed,
+        # slo.alert, rpc.timeout) via the tracer, sanitizer findings
+        # (deadlock / risky migration) via its failure hooks.  attach()
+        # no-ops on a NullTracer, so wiring it is always safe.
+        self.flight = FlightRecorder(
+            world.tracer,
+            cluster_provider=self.nas.cluster_metrics,
+            nas_provider=self.nas.history_document,
+            slo_provider=self._slo_alerts,
+            incident_dir=incident_dir,
+        )
+        self.flight.attach()
+        world.kernel.sanitizer.failure_hooks.append(
+            self._on_sanitizer_finding
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -111,6 +132,59 @@ class JSRuntime:
         if self.shell.config.oas_failure_recovery:
             for app in list(self.apps.values()):
                 app.recover_from_failure(host)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _slo_alerts(self) -> list[dict]:
+        slo = self.nas.slo
+        return list(slo.alerts) if slo is not None else []
+
+    def _on_sanitizer_finding(self, finding) -> None:
+        trigger = {
+            "san-lock-deadlock": TRIGGER_DEADLOCK,
+            "san-migrate-pending": TRIGGER_MIGRATE_PENDING,
+        }.get(finding.rule)
+        if trigger is None:
+            return
+        self.flight.record(
+            trigger, ts=self.world.now(), rule=finding.rule,
+            message=finding.message, symbol=finding.symbol,
+        )
+
+    def metrics_document(self) -> dict:
+        """Cluster metrics as a JSON-safe document: the merged aggregate
+        plus the per-host snapshots behind it.  Prefers the NAS-shipped
+        :class:`~repro.obs.timeseries.ClusterMetrics` (heartbeat-fed,
+        windowed); falls back to the tracer's live per-host registries
+        when no delta has reached the domain manager yet."""
+        from repro.obs.timeseries import _jsonable
+
+        cluster = self.nas.cluster_metrics()
+        if cluster is not None and cluster.ingested:
+            return {
+                "source": "nas",
+                "merged": _jsonable(cluster.merged_snapshot()),
+                "hosts": {
+                    host: _jsonable(cluster.host_snapshot(host))
+                    for host in cluster.hosts()
+                },
+                "windows": {
+                    host: cluster.series[host].total_windows
+                    for host in cluster.hosts()
+                },
+            }
+        tracer = self.world.tracer
+        host_metrics = getattr(tracer, "host_metrics", None) or {}
+        return {
+            "source": "tracer",
+            "merged": _jsonable(tracer.merged_host_metrics())
+            if host_metrics else {"counters": {}, "histograms": {}},
+            "hosts": {
+                host: _jsonable(host_metrics[host].snapshot())
+                for host in sorted(host_metrics)
+            },
+            "windows": {},
+        }
 
     # -- applications ------------------------------------------------------------
 

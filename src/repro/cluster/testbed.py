@@ -69,6 +69,8 @@ class TestbedConfig:
     #: extra per-host load overrides
     load_models: dict[str, LoadModel] = field(default_factory=dict)
     pool_policy: str = "available-compute"
+    #: when set, the flight recorder writes incident bundles here
+    incident_dir: str | None = None
 
 
 def _load_model_for(
@@ -127,5 +129,6 @@ def vienna_testbed(
         nas_config=config.nas,
         shell_config=config.shell,
         pool_policy=config.pool_policy,
+        incident_dir=config.incident_dir,
     )
     return runtime.start()

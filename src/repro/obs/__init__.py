@@ -31,8 +31,17 @@ from repro.obs.export import (
     to_chrome_trace,
     write_chrome_trace,
 )
-from repro.obs.metrics import Histogram, Metrics
+from repro.obs.flight import FlightRecorder, load_bundle, render_incident
+from repro.obs.metrics import (
+    Histogram,
+    Metrics,
+    merge_snapshots,
+    snapshot_delta,
+)
+from repro.obs.prom import render_prom
+from repro.obs.slo import DEFAULT_RULES, SLORule, SLOWatcher, parse_rule
 from repro.obs.spans import OpenSpan, TraceContext, current_context
+from repro.obs.timeseries import ClusterMetrics, HostSeries, MetricsDelta
 from repro.obs.top import (
     TopFrame,
     frames_from_trace,
@@ -63,6 +72,19 @@ __all__ = [
     "tracing",
     "Metrics",
     "Histogram",
+    "merge_snapshots",
+    "snapshot_delta",
+    "MetricsDelta",
+    "HostSeries",
+    "ClusterMetrics",
+    "SLORule",
+    "SLOWatcher",
+    "DEFAULT_RULES",
+    "parse_rule",
+    "FlightRecorder",
+    "load_bundle",
+    "render_incident",
+    "render_prom",
     "to_chrome_trace",
     "write_chrome_trace",
     "render_summary",

@@ -58,6 +58,15 @@ a ``minvoke`` group)
 ``host.failed`` (instant)
     a machine failing; open spans on it are force-closed with a
     ``host_failed: True`` field (their events are kept, not lost)
+``rpc.timeout`` (instant)
+    kind, msg_id, waited; a caller gave up on a reply
+    (:class:`~repro.transport.errors.RPCTimeoutError`)
+``slo.alert`` (instant)
+    rule, metric, value, threshold, window; an SLO rule breached for
+    one evaluation window (see :mod:`repro.obs.slo`)
+``flight.record`` (instant)
+    trigger, incident_id; the flight recorder captured a bundle
+    (see :mod:`repro.obs.flight`)
 
 Spans additionally carry a :class:`repro.obs.spans.TraceContext` in
 ``ctx`` (trace_id / span_id / parent_id); instants inherit the emitting
@@ -101,6 +110,9 @@ NAS_RELEASE = "nas.release"
 NAS_TAKEOVER = "nas.takeover"
 
 HOST_FAILED = "host.failed"
+RPC_TIMEOUT = "rpc.timeout"
+SLO_ALERT = "slo.alert"
+FLIGHT_RECORD = "flight.record"
 
 
 @dataclass

@@ -4,6 +4,14 @@ The registry owns the only lock in the obs package; individual tracers
 stay lock-free so the hot path (a guarded ``tracer.enabled`` check) costs
 one attribute load when tracing is off.  Histogram buckets are log2 so
 latencies spanning microseconds to minutes stay readable.
+
+Histograms are *mergeable*: :meth:`Histogram.snapshot` preserves the raw
+bucket table (not just derived percentiles), so snapshots taken on
+different hosts can be recombined — :meth:`Histogram.merge` and
+:meth:`Metrics.merge_snapshot` make cross-host p50/p95/p99 a matter of
+adding bucket counts instead of being impossible.  Snapshots are plain
+dicts of numbers, picklable and JSON-safe (bucket keys are ints; convert
+to str for JSON).
 """
 
 from __future__ import annotations
@@ -78,6 +86,9 @@ class Histogram:
         return self.percentile(0.99)
 
     def snapshot(self) -> dict:
+        """A picklable view.  ``buckets`` carries the raw log2 table so
+        snapshots stay mergeable (see :meth:`from_snapshot`); the derived
+        percentiles ride along for direct consumption."""
         return {
             "count": self.count,
             "sum": self.total,
@@ -87,8 +98,42 @@ class Histogram:
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "buckets": dict(self.buckets),
         }
 
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Histogram":
+        """Reconstruct a histogram from :meth:`snapshot` output (derived
+        fields like ``mean``/``p50`` are recomputed, not trusted)."""
+        count = int(snap.get("count", 0))
+        hist = cls(
+            count=count,
+            total=float(snap.get("sum", 0.0)),
+            min=float(snap["min"]) if count else math.inf,
+            max=float(snap["max"]) if count else -math.inf,
+            buckets={int(k): int(v)
+                     for k, v in snap.get("buckets", {}).items()},
+        )
+        return hist
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place (and return self).
+
+        count/sum/min/max combine exactly; bucket counts add, so merged
+        percentiles are as accurate as having observed the union of both
+        sample streams (at worst one log2 bucket wide, like any single
+        histogram's estimate)."""
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        return self
 
 class Metrics:
     """Thread-safe registry of named counters and histograms."""
@@ -127,3 +172,85 @@ class Metrics:
                     for name, hist in self._histograms.items()
                 },
             }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` (or histogram-delta) dict from another
+        registry — typically another host's — into this one.  Counters
+        add; histograms merge bucket-wise, so cross-host percentiles come
+        from the union of the per-host sample streams."""
+        counters = snap.get("counters", {})
+        histograms = snap.get("histograms", {})
+        incoming = {
+            name: Histogram.from_snapshot(h)
+            for name, h in histograms.items()
+        }
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, other in incoming.items():
+                mine = self._histograms.get(name)
+                if mine is None:
+                    self._histograms[name] = other
+                else:
+                    mine.merge(other)
+
+
+def merge_snapshots(snaps) -> dict:
+    """Merge an iterable of :meth:`Metrics.snapshot` dicts into one
+    combined snapshot — the cluster-wide view of per-host registries."""
+    merged = Metrics()
+    for snap in snaps:
+        merged.merge_snapshot(snap)
+    return merged.snapshot()
+
+
+def _histogram_delta(new: dict, old: dict | None) -> dict | None:
+    """Growth of one histogram between two snapshots of the same
+    registry, or None if nothing was observed in between.
+
+    count/sum/buckets are exact differences.  min/max cannot be windowed
+    from cumulative state, so the *cumulative* extremes are carried —
+    merging a full delta sequence therefore reproduces the cumulative
+    histogram exactly (the first delta's extremes already bound every
+    earlier value)."""
+    if not new.get("count"):
+        return None
+    if old is None:
+        delta = dict(new)
+        delta["buckets"] = dict(new.get("buckets", {}))
+        return delta
+    d_count = int(new["count"]) - int(old.get("count", 0))
+    if d_count <= 0:
+        return None
+    old_buckets = old.get("buckets", {})
+    buckets = {}
+    for idx, n in new.get("buckets", {}).items():
+        grown = int(n) - int(old_buckets.get(idx, 0))
+        if grown > 0:
+            buckets[idx] = grown
+    return {
+        "count": d_count,
+        "sum": float(new["sum"]) - float(old.get("sum", 0.0)),
+        "min": new["min"],
+        "max": new["max"],
+        "buckets": buckets,
+    }
+
+
+def snapshot_delta(new: dict, old: dict | None) -> dict:
+    """The growth between two :meth:`Metrics.snapshot` views of the same
+    registry: ``{'counters': {...}, 'histograms': {...}}`` with only the
+    entries that changed.  This is what one NAS heartbeat ships."""
+    old_counters = (old or {}).get("counters", {})
+    old_hists = (old or {}).get("histograms", {})
+    counters = {}
+    for name, value in new.get("counters", {}).items():
+        grown = value - old_counters.get(name, 0.0)
+        if grown:
+            counters[name] = grown
+    histograms = {}
+    for name, hist in new.get("histograms", {}).items():
+        delta = _histogram_delta(hist, old_hists.get(name))
+        if delta is not None:
+            histograms[name] = delta
+    return {"counters": counters, "histograms": histograms}

@@ -1,0 +1,110 @@
+"""Prometheus text exposition of a metrics snapshot.
+
+``render_prom`` turns one registry snapshot (typically the merge of all
+per-host registries) into the Prometheus text format, so ``repro
+metrics --prom`` output can be scraped, diffed or piped into promtool.
+
+Name mapping: the registry's ``family:variant`` convention (e.g.
+``rpc.latency:invoke``, ``dispatch:greta``) splits into a metric family
+and a ``variant`` label; dots become underscores and a ``repro_``
+prefix namespaces everything::
+
+    rpc.bytes              -> repro_rpc_bytes_total
+    rpc.latency:invoke     -> repro_rpc_latency{variant="invoke"}
+    dispatch:greta         -> repro_dispatch_total{variant="greta"}
+
+Counters are ``counter`` families with a ``_total`` suffix.  Histograms
+become native Prometheus histograms: the log2 bucket table is emitted as
+*cumulative* ``_bucket`` samples with ``le`` = each bucket's upper value
+edge (``2^idx``), closed by ``le="+Inf"``, plus ``_sum`` and ``_count``
+— so quantiles computed by a scraper match the registry's own
+bucket-interpolated estimates.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _split(name: str) -> tuple[str, str]:
+    """``family:variant`` -> (sanitized family, variant label value)."""
+    family, _, variant = name.partition(":")
+    return _NAME_OK.sub("_", family), variant
+
+
+def _labels(variant: str) -> str:
+    if not variant:
+        return ""
+    escaped = variant.replace("\\", r"\\").replace('"', r'\"')
+    return '{variant="' + escaped + '"}'
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bucket_edge(idx: int) -> float:
+    """Upper value edge of log2 bucket ``idx`` ([2^(idx-1), 2^idx))."""
+    if idx <= -1074:
+        return 0.0
+    return math.ldexp(1.0, idx)
+
+
+def render_prom(snapshot: dict, prefix: str = "repro") -> str:
+    """The snapshot as Prometheus exposition text (trailing newline)."""
+    lines: list[str] = []
+
+    counters = snapshot.get("counters", {})
+    families: dict[str, list[tuple[str, float]]] = {}
+    for name in sorted(counters):
+        family, variant = _split(name)
+        families.setdefault(family, []).append((variant, counters[name]))
+    for family in sorted(families):
+        metric = f"{prefix}_{family}_total"
+        lines.append(f"# TYPE {metric} counter")
+        for variant, value in families[family]:
+            lines.append(f"{metric}{_labels(variant)} {_fmt(value)}")
+
+    histograms = snapshot.get("histograms", {})
+    hist_families: dict[str, list[tuple[str, dict]]] = {}
+    for name in sorted(histograms):
+        family, variant = _split(name)
+        hist_families.setdefault(family, []).append(
+            (variant, histograms[name]))
+    for family in sorted(hist_families):
+        metric = f"{prefix}_{family}"
+        lines.append(f"# TYPE {metric} histogram")
+        for variant, hist in hist_families[family]:
+            labels = _labels(variant)
+            buckets = {int(k): int(v)
+                       for k, v in hist.get("buckets", {}).items()}
+            cumulative = 0
+            for idx in sorted(buckets):
+                cumulative += buckets[idx]
+                le = _fmt(_bucket_edge(idx))
+                if labels:
+                    tag = labels[:-1] + f',le="{le}"}}'
+                else:
+                    tag = f'{{le="{le}"}}'
+                lines.append(f"{metric}_bucket{tag} {cumulative}")
+            if labels:
+                inf_tag = labels[:-1] + ',le="+Inf"}'
+            else:
+                inf_tag = '{le="+Inf"}'
+            lines.append(
+                f"{metric}_bucket{inf_tag} {int(hist.get('count', 0))}")
+            lines.append(
+                f"{metric}_sum{labels} {_fmt(float(hist.get('sum', 0.0)))}")
+            lines.append(
+                f"{metric}_count{labels} {int(hist.get('count', 0))}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -63,10 +63,10 @@ class NullTracer:
              **fields) -> None:
         pass
 
-    def count(self, name: str, value: float = 1.0) -> None:
+    def count(self, name: str, value: float = 1.0, host: str = "") -> None:
         pass
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, host: str = "") -> None:
         pass
 
     # -- span API (all no-ops; hook points never reach these when the
@@ -111,6 +111,16 @@ class Tracer(NullTracer):
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
         self._failed_hosts: set[str] = set()
+        #: host -> Metrics: the per-host registries behind the cluster
+        #: telemetry plane.  Hook points that know which machine an
+        #: aggregate belongs to pass ``host=`` and the sample lands both
+        #: globally and in that host's registry, so merging the per-host
+        #: registries reproduces the global one.
+        self.host_metrics: dict[str, Metrics] = {}
+        #: etype -> callbacks fired synchronously after an event of that
+        #: type records (the flight recorder's trigger surface).  Empty
+        #: for ordinary tracers, so emit pays one falsy check.
+        self._triggers: dict[str, list] = {}
         # Ring eviction touches the deque, the index and the drop counter
         # together; only capped tracers pay for the lock.
         self._ring_lock = threading.Lock() if max_events else None
@@ -133,6 +143,7 @@ class Tracer(NullTracer):
             # instance takes no lock anywhere — appends are GIL-atomic.
             self.events.append(event)  # symlint: disable=unguarded-write
             self._index(etype).append(event)
+            self._fire_triggers(event)
             return
         with self._ring_lock:
             if len(self.events) >= (self.max_events or 0):
@@ -143,6 +154,9 @@ class Tracer(NullTracer):
                 self.dropped_events += 1
             self.events.append(event)
             self._index(etype).append(event)
+        # Callbacks may do arbitrary work (the flight recorder snapshots
+        # the whole ring); never run them under the ring lock.
+        self._fire_triggers(event)
 
     def _index(self, etype: str) -> deque[TraceEvent]:
         index = self._by_etype.get(etype)
@@ -153,14 +167,63 @@ class Tracer(NullTracer):
             index = self._by_etype[etype] = deque()  # symlint: disable=unguarded-write
         return index
 
-    def count(self, name: str, value: float = 1.0) -> None:
+    def count(self, name: str, value: float = 1.0, host: str = "") -> None:
         self.metrics.count(name, value)
+        if host:
+            self.metrics_for(host).count(name, value)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, host: str = "") -> None:
         self.metrics.observe(name, value)
+        if host:
+            self.metrics_for(host).observe(name, value)
+
+    def metrics_for(self, host: str) -> Metrics:
+        """The per-host metrics registry for ``host`` (created lazily)."""
+        registry = self.host_metrics.get(host)
+        if registry is None:
+            # justification: GIL-atomic dict store; worst case a racing
+            # creation loses a handful of samples at first touch.
+            registry = self.host_metrics[host] = Metrics()  # symlint: disable=unguarded-write
+        return registry
+
+    def merged_host_metrics(self) -> dict:
+        """One snapshot merging every per-host registry — the tracer-side
+        'merge the per-host histograms by hand' view of the cluster."""
+        from repro.obs.metrics import merge_snapshots
+
+        return merge_snapshots(
+            self.host_metrics[h].snapshot()
+            for h in sorted(self.host_metrics)
+        )
 
     def events_of(self, etype: str) -> list[TraceEvent]:
         return list(self._by_etype.get(etype, ()))
+
+    # -- triggers ------------------------------------------------------------
+
+    def on_event(self, etype: str, callback) -> None:
+        """Register ``callback(event)`` to run synchronously after every
+        recorded event of ``etype``.  Callbacks must not emit (re-entry
+        is not guarded); the flight recorder is the intended consumer."""
+        self._triggers.setdefault(etype, []).append(callback)
+
+    def remove_trigger(self, etype: str, callback) -> None:
+        callbacks = self._triggers.get(etype)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+            if not callbacks:
+                del self._triggers[etype]
+
+    def _fire_triggers(self, event: TraceEvent) -> None:
+        if not self._triggers:
+            return
+        for callback in tuple(self._triggers.get(event.etype, ())):
+            callback(event)
+
+    @property
+    def failed_hosts(self) -> frozenset:
+        """Hosts the tracer has seen fail (``host_failed`` was called)."""
+        return frozenset(self._failed_hosts)
 
     # -- spans ---------------------------------------------------------------
 

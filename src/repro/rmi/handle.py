@@ -18,7 +18,7 @@ from typing import Any
 
 from repro.errors import RPCTimeoutError, WaitTimeout
 from repro.kernel.base import Future
-from repro.obs.events import OBJ_WAIT
+from repro.obs.events import OBJ_WAIT, RPC_TIMEOUT
 from repro.obs.spans import TraceContext
 from repro.obs.tracer import NULL_TRACER
 from repro.sanitizer.core import current_sanitizer
@@ -70,6 +70,12 @@ class ResultHandle:
         try:
             return self._future.result(timeout)
         except WaitTimeout:
+            if tracer.enabled:
+                tracer.emit(RPC_TIMEOUT, ts=kernel.now(),
+                            actor=kernel.current_process_name(),
+                            kind="ainvoke", label=self._label,
+                            waited=timeout, ctx=self.ctx)
+                tracer.count("rpc.timeouts")
             # Same caller-facing family as Endpoint.rpc — async callers
             # must not need to catch raw kernel timeouts.
             raise RPCTimeoutError(

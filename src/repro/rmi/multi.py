@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import RPCTimeoutError
+from repro.obs.events import RPC_TIMEOUT
 from repro.rmi.handle import ResultHandle
 
 #: poll quantum for as_completed / deadline checks (simulated seconds);
@@ -136,6 +137,11 @@ class MultiHandle:
             if not remaining:
                 return
             if deadline is not None and self._expired(deadline):
+                if kernel is not None and kernel.tracer.enabled:
+                    kernel.tracer.emit(
+                        RPC_TIMEOUT, ts=kernel.now(), kind="minvoke",
+                        waited=timeout, pending=len(remaining))
+                    kernel.tracer.count("rpc.timeouts")
                 raise RPCTimeoutError(
                     f"{len(remaining)} of {len(self._handles)} batched "
                     f"results not ready within {timeout} s"

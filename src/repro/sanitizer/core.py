@@ -89,6 +89,11 @@ class NullSanitizer:
     enabled = False
     leaks = False
 
+    def __init__(self) -> None:
+        #: same surface as :class:`Sanitizer` so subscribers (e.g. the
+        #: flight recorder) can register unconditionally; never fired.
+        self.failure_hooks: list = []
+
     # -- lock factory --------------------------------------------------------
 
     def make_lock(self, name: str) -> Any:
@@ -176,6 +181,10 @@ class Sanitizer(NullSanitizer):
         self.max_findings = max_findings
         self._mu = threading.Lock()
         self.findings: list[Finding] = []
+        #: callbacks fired (outside ``_mu``) with every Finding as it is
+        #: emitted — the flight recorder's sanitizer-side trigger surface
+        #: (subscribers filter by ``finding.rule``)
+        self.failure_hooks: list = []
         self._lockset = LocksetDetector()
         self._waitgraph = WaitForGraph()
         self._leaks = LeakRegistry()
@@ -214,6 +223,10 @@ class Sanitizer(NullSanitizer):
         with self._mu:
             if len(self.findings) < self.max_findings:
                 self.findings.append(finding)
+        # Hooks can do arbitrary work (the flight recorder snapshots the
+        # whole tracer ring); never run them under the sanitizer mutex.
+        for hook in tuple(self.failure_hooks):
+            hook(finding)
 
     def _name_of(self, tid: int) -> str:
         return self._thread_names.get(tid) or f"thread-{tid}"

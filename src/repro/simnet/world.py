@@ -116,7 +116,7 @@ class SimWorld:
             self.tracer.emit_span(ev.COMPUTE, ts=t0, host=host,
                                   actor=self.kernel.current_process_name(),
                                   dur=elapsed, flops=flops)
-            self.tracer.count(f"compute.flops:{host}", flops)
+            self.tracer.count(f"compute.flops:{host}", flops, host=host)
         return elapsed
 
     # -- network -------------------------------------------------------------

@@ -137,9 +137,14 @@ class Endpoint:
 class Reply:
     """Caller-side handle on an in-flight RPC."""
 
-    def __init__(self, future: Future, transport: "Transport") -> None:
+    def __init__(self, future: Future, transport: "Transport",
+                 src: Addr | None = None, dst: Addr | None = None,
+                 kind: str = "") -> None:
         self._future = future
         self._transport = transport
+        self._src = src
+        self._dst = dst
+        self._kind = kind
 
     def done(self) -> bool:
         return self._future.done()
@@ -153,6 +158,16 @@ class Reply:
         try:
             value = self._future.result(timeout)
         except WaitTimeout:
+            tracer = self._transport.tracer
+            if tracer.enabled:
+                host = self._src.host if self._src else ""
+                tracer.emit(
+                    ev.RPC_TIMEOUT, ts=self._transport.world.now(),
+                    host=host, actor=str(self._src) if self._src else "",
+                    kind=self._kind, dst=str(self._dst) if self._dst else "",
+                    waited=timeout,
+                )
+                tracer.count("rpc.timeouts", host=host)
             raise RPCTimeoutError(
                 f"no reply within {timeout} s (peer failed?)"
             ) from None
@@ -226,7 +241,7 @@ class Transport:
         future = self.world.kernel.create_future()
         self.stats.rpcs += 1
         self.send(src, dst, kind, payload, oneway=False, reply_future=future)
-        return Reply(future, self)
+        return Reply(future, self, src=src, dst=dst, kind=kind)
 
     def send(
         self,
@@ -272,7 +287,7 @@ class Transport:
                 kind=kind, nbytes=nbytes, src=str(src), dst=str(dst),
                 msg_id=msg.msg_id, oneway=oneway,
             )
-            self.tracer.count(f"rpc.bytes:{kind}", nbytes)
+            self.tracer.count(f"rpc.bytes:{kind}", nbytes, host=src.host)
         self.world.kernel.call_at(deliver_at, self._deliver, msg, reply_future)
 
     # -- receive path ------------------------------------------------------------
@@ -360,9 +375,14 @@ class Transport:
                 kind=reply_kind, nbytes=nbytes, src=str(msg.dst),
                 dst=str(msg.src), msg_id=msg.msg_id,
             )
-            self.tracer.count(f"rpc.bytes:{reply_kind}", nbytes)
+            self.tracer.count(f"rpc.bytes:{reply_kind}", nbytes,
+                              host=msg.dst.host)
+            # Latency is the caller-observed round trip; attribute it to
+            # the calling host so per-host percentiles mean "RPCs this
+            # machine issued".
             self.tracer.observe(
-                f"rpc.latency:{msg.kind}", deliver_at - msg.sent_at
+                f"rpc.latency:{msg.kind}", deliver_at - msg.sent_at,
+                host=msg.src.host,
             )
         self.world.kernel.call_at(
             deliver_at, self._complete, reply_future, result
@@ -396,7 +416,7 @@ class Transport:
                 actor=str(msg.dst), ctx=msg.ctx, kind=msg.kind,
                 stage=stage, reason=reason, msg_id=msg.msg_id,
             )
-            self.tracer.count(f"rpc.dropped:{stage}")
+            self.tracer.count(f"rpc.dropped:{stage}", host=msg.dst.host)
 
     def _charge_sender_cpu(self, host: str, nbytes: int) -> None:
         flops = self.cpu_flops_per_msg + nbytes * self.cpu_flops_per_byte

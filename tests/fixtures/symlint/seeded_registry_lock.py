@@ -1,0 +1,56 @@
+"""Fixture: telemetry-registry calls inside and outside lock-held
+regions (the registry-call-under-lock rule)."""
+
+import threading
+
+
+class Collector:
+    def __init__(self, metrics, recorder, telemetry):
+        self._lock = threading.Lock()
+        self.metrics = metrics
+        self.recorder = recorder
+        self.telemetry = telemetry
+        self.pending = []
+
+    def ingest_bad(self, delta):
+        with self._lock:
+            self.pending.append(delta.host)
+            self.telemetry.ingest(delta)  # <<INGEST_UNDER_LOCK>>
+
+    def observe_bad(self, value, now):
+        with self._lock:
+            self.metrics.observe("rpc.latency", value)  # <<OBSERVE_UNDER_LOCK>>
+
+    def record_bad(self, now):
+        with self._lock:
+            if self.pending:
+                self.recorder.record("queue.stall", ts=now)  # <<RECORD_UNDER_LOCK>>
+
+    def merge_bad(self, snapshot):
+        with self._lock:
+            self.metrics.merge_snapshot(snapshot)  # <<MERGE_UNDER_LOCK>>
+
+    def ingest_good(self, delta):
+        with self._lock:
+            self.pending.append(delta.host)
+        self.telemetry.ingest(delta)
+
+    def deferred_ok(self, delta):
+        with self._lock:
+            # A nested def under the lock runs later, not under it.
+            def flush():
+                self.telemetry.ingest(delta)
+
+            self.pending.append(flush)
+        return self.pending[-1]
+
+    def unrelated_receiver_ok(self, cum, snapshot):
+        with self._lock:
+            # Receiver name carries no telemetry keyword: not flagged.
+            cum.merge_snapshot(snapshot)
+
+    def tracer_rule_wins(self, tracer, now):
+        with self._lock:
+            # Mentions both tracer and metrics: exactly one finding,
+            # owned by the tracer rule.
+            tracer.metrics.count("hits")  # <<TRACER_WINS>>

@@ -142,3 +142,82 @@ class TestTopCommand:
     def test_top_unknown_target_exits_2(self, capsys):
         assert main(["top", "no/such/script.py"]) == 2
         assert "no such trace target" in capsys.readouterr().err
+
+class TestMetricsCommand:
+    def test_metrics_prom_exposition(self, capsys):
+        assert main(["metrics", "matmul", "--n", "64", "--nodes", "3",
+                     "--profile", "dedicated", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_rpc_latency histogram" in out
+        assert 'le="+Inf"' in out
+        assert "repro_rpc_latency_count" in out
+
+    def test_metrics_json_document(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert main(["metrics", "matmul", "--n", "64", "--nodes", "3",
+                     "--profile", "dedicated",
+                     "--json", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["source"] in ("nas", "tracer")
+        assert doc["merged"]["histograms"]
+        assert doc["hosts"]
+
+    def test_metrics_kill_writes_incident_bundles(self, capsys, tmp_path):
+        import json
+
+        assert main(["metrics", "matmul", "--n", "64", "--nodes", "4",
+                     "--profile", "dedicated",
+                     "--kill", "greta@0.1",
+                     "--incident-dir", str(tmp_path), "--prom"]) == 0
+        err = capsys.readouterr().err
+        assert "incident" in err
+        bundles = sorted(tmp_path.glob("*.json"))
+        assert bundles
+        doc = json.loads(bundles[0].read_text())
+        assert doc["trigger"]
+        assert doc["metrics"]["merged"]
+
+    def test_metrics_bad_kill_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["metrics", "matmul", "--kill", "nonsense"])
+
+    def test_metrics_unknown_target_exits_2(self, capsys):
+        assert main(["metrics", "no/such/script.py"]) == 2
+        assert "no such trace target" in capsys.readouterr().err
+
+
+class TestIncidentsCommand:
+    def _make_bundles(self, tmp_path):
+        from repro.obs import FlightRecorder, Tracer
+        from repro.obs import events as ev
+
+        tracer = Tracer()
+        recorder = FlightRecorder(tracer, incident_dir=str(tmp_path))
+        recorder.attach()
+        tracer.emit(ev.RPC_TIMEOUT, ts=1.0, host="a", kind="X")
+        tracer.host_failed("b", 3.0)
+        return sorted(tmp_path.glob("*.json"))
+
+    def test_incidents_renders_directory(self, capsys, tmp_path):
+        paths = self._make_bundles(tmp_path)
+        assert len(paths) == 2
+        assert main(["incidents", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rpc.timeout" in out
+        assert "host.failed" in out
+
+    def test_incidents_renders_single_file(self, capsys, tmp_path):
+        paths = self._make_bundles(tmp_path)
+        assert main(["incidents", str(paths[0])]) == 0
+        out = capsys.readouterr().out
+        assert "incident" in out
+
+    def test_incidents_missing_target_exits_2(self, capsys):
+        assert main(["incidents", "/no/such/dir"]) == 2
+        assert capsys.readouterr().err
+
+    def test_incidents_empty_dir_exits_1(self, tmp_path):
+        assert main(["incidents", str(tmp_path)]) == 1

@@ -298,3 +298,222 @@ class TestRuntimeIntegration:
             TestbedConfig(load_profile="dedicated", seed=7)
         )
         assert runtime.world.tracer is NULL_TRACER
+
+
+class TestHistogramMerge:
+    """Satellite fix: snapshots must preserve the raw bucket table and
+    merged histograms must behave exactly like observing the union."""
+
+    def test_snapshot_preserves_buckets(self):
+        h = Histogram()
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert sum(snap["buckets"].values()) == 4
+        assert snap["buckets"] == dict(h.buckets)
+
+    def test_from_snapshot_round_trip(self):
+        h = Histogram()
+        for v in (0.001, 0.25, 7.0, 7.0, 1e6):
+            h.observe(v)
+        clone = Histogram.from_snapshot(h.snapshot())
+        assert clone.count == h.count
+        assert clone.total == pytest.approx(h.total)
+        assert clone.min == h.min and clone.max == h.max
+        assert dict(clone.buckets) == dict(h.buckets)
+        assert clone.p99 == pytest.approx(h.p99)
+
+    def test_merge_equals_union(self):
+        import math
+
+        a, b, union = Histogram(), Histogram(), Histogram()
+        xs = [0.1, 0.2, 0.4, 3.0, 9.0]
+        ys = [0.05, 5.0, 80.0]
+        for v in xs:
+            a.observe(v); union.observe(v)
+        for v in ys:
+            b.observe(v); union.observe(v)
+        a.merge(b)
+        assert a.count == union.count
+        # Sums may differ by float summation order only.
+        assert math.isclose(a.total, union.total)
+        assert a.min == union.min and a.max == union.max
+        assert dict(a.buckets) == dict(union.buckets)
+        # Same buckets => identical interpolated percentiles.
+        assert a.p50 == pytest.approx(union.p50)
+        assert a.p99 == pytest.approx(union.p99)
+
+    def test_merge_empty_cases(self):
+        a, b = Histogram(), Histogram()
+        a.merge(b)
+        assert a.count == 0
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 1 and a.min == 2.0 and a.max == 2.0
+        empty = Histogram()
+        a.merge(empty)
+        assert a.count == 1
+
+    def test_metrics_merge_snapshot(self):
+        import math
+
+        m1, m2 = Metrics(), Metrics()
+        m1.count("rpc", 3)
+        m2.count("rpc", 2)
+        m2.count("only2", 1)
+        m1.observe("lat", 1.0)
+        m2.observe("lat", 4.0)
+        m2.observe("other", 0.5)
+        m1.merge_snapshot(m2.snapshot())
+        assert m1.counter("rpc") == 5
+        assert m1.counter("only2") == 1
+        lat = m1.snapshot()["histograms"]["lat"]
+        assert lat["count"] == 2
+        assert math.isclose(lat["sum"], 5.0)
+        assert lat["min"] == 1.0 and lat["max"] == 4.0
+        assert m1.snapshot()["histograms"]["other"]["count"] == 1
+
+    def test_merge_snapshots_helper(self):
+        from repro.obs import merge_snapshots
+
+        snaps = []
+        for base in (1.0, 10.0, 100.0):
+            m = Metrics()
+            m.count("c")
+            m.observe("h", base)
+            snaps.append(m.snapshot())
+        merged = merge_snapshots(snaps)
+        assert merged["counters"]["c"] == 3
+        h = merged["histograms"]["h"]
+        assert h["count"] == 3
+        assert h["min"] == 1.0 and h["max"] == 100.0
+
+
+class TestHistogramMergeProperties:
+    """Hypothesis: count/min/max/buckets exact under merge; percentiles
+    within one log2 bucket of the union's; merge is commutative and
+    associative at the bucket level."""
+
+    from hypothesis import given, settings, strategies as st
+
+    values = st.lists(
+        st.floats(min_value=1e-6, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        max_size=40,
+    )
+
+    @staticmethod
+    def _fill(vs):
+        h = Histogram()
+        for v in vs:
+            h.observe(v)
+        return h
+
+    @given(xs=values, ys=values)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_matches_union(self, xs, ys):
+        import math
+
+        merged = self._fill(xs)
+        merged.merge(self._fill(ys))
+        union = self._fill(xs + ys)
+        assert merged.count == union.count
+        assert math.isclose(merged.total, union.total, rel_tol=1e-9,
+                            abs_tol=1e-12)
+        if xs or ys:
+            assert merged.min == union.min
+            assert merged.max == union.max
+        assert dict(merged.buckets) == dict(union.buckets)
+        for q in (0.5, 0.95, 0.99):
+            assert merged.percentile(q) == pytest.approx(
+                union.percentile(q))
+
+    @given(xs=values, ys=values)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_commutative(self, xs, ys):
+        ab = self._fill(xs); ab.merge(self._fill(ys))
+        ba = self._fill(ys); ba.merge(self._fill(xs))
+        assert ab.count == ba.count
+        assert dict(ab.buckets) == dict(ba.buckets)
+        assert ab.min == ba.min and ab.max == ba.max
+
+    @given(xs=values, ys=values, zs=values)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associative(self, xs, ys, zs):
+        left = self._fill(xs)
+        left.merge(self._fill(ys))
+        left.merge(self._fill(zs))
+        inner = self._fill(ys)
+        inner.merge(self._fill(zs))
+        right = self._fill(xs)
+        right.merge(inner)
+        assert left.count == right.count
+        assert dict(left.buckets) == dict(right.buckets)
+        assert left.min == right.min and left.max == right.max
+
+    @given(xs=values)
+    @settings(max_examples=40, deadline=None)
+    def test_percentile_within_one_bucket_of_exact(self, xs):
+        import math
+
+        if not xs:
+            return
+        h = self._fill(xs)
+        exact = sorted(xs)
+        for q in (0.5, 0.95, 0.99):
+            est = h.percentile(q)
+            rank = min(len(exact) - 1,
+                       max(0, math.ceil(q * len(exact)) - 1))
+            true = exact[rank]
+            # The estimate lands in the true value's log2 bucket (or at
+            # a clamped extreme): within a factor of 2 either side.
+            assert est <= true * 2.0 + 1e-12
+            assert est >= true / 2.0 - 1e-12
+            assert h.min <= est <= h.max
+
+
+class TestSnapshotDelta:
+    def test_delta_ships_only_growth(self):
+        from repro.obs import snapshot_delta
+
+        m = Metrics()
+        m.count("a", 2)
+        m.observe("h", 1.0)
+        first = m.snapshot()
+        d0 = snapshot_delta(first, None)
+        assert d0["counters"]["a"] == 2
+        assert d0["histograms"]["h"]["count"] == 1
+        m.count("a")
+        m.observe("h", 8.0)
+        second = m.snapshot()
+        d1 = snapshot_delta(second, first)
+        assert d1["counters"] == {"a": 1}
+        assert d1["histograms"]["h"]["count"] == 1
+        # No growth at all -> empty delta.
+        assert snapshot_delta(second, second) == {
+            "counters": {}, "histograms": {}}
+
+    def test_delta_sequence_reconstructs_cumulative(self):
+        import math
+
+        from repro.obs import snapshot_delta
+
+        m = Metrics()
+        deltas, last = [], None
+        for batch in ([0.5, 2.0], [64.0], [], [0.25, 0.25, 1.5]):
+            for v in batch:
+                m.observe("h", v)
+            m.count("n", len(batch))
+            snap = m.snapshot()
+            deltas.append(snapshot_delta(snap, last))
+            last = snap
+        replay = Metrics()
+        for d in deltas:
+            replay.merge_snapshot(d)
+        got = replay.snapshot()["histograms"]["h"]
+        want = m.snapshot()["histograms"]["h"]
+        assert got["count"] == want["count"]
+        assert math.isclose(got["sum"], want["sum"])
+        assert got["min"] == want["min"] and got["max"] == want["max"]
+        assert got["buckets"] == want["buckets"]
+        assert replay.counter("n") == m.counter("n")

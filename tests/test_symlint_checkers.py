@@ -225,6 +225,38 @@ def test_tracer_outside_lock_and_nested_def_not_flagged():
     }
 
 
+def test_registry_call_under_lock_flagged():
+    report = run("seeded_registry_lock.py")
+    findings = by_rule(report, "registry-call-under-lock")
+    assert {f.line for f in findings} == {
+        marker_line("seeded_registry_lock.py", "INGEST_UNDER_LOCK"),
+        marker_line("seeded_registry_lock.py", "OBSERVE_UNDER_LOCK"),
+        marker_line("seeded_registry_lock.py", "RECORD_UNDER_LOCK"),
+        marker_line("seeded_registry_lock.py", "MERGE_UNDER_LOCK"),
+    }
+    for finding in findings:
+        assert finding.severity is Severity.WARNING
+        assert "_lock" in finding.message
+
+
+def test_registry_rule_clean_twins_and_tracer_precedence():
+    report = run("seeded_registry_lock.py")
+    registry = by_rule(report, "registry-call-under-lock")
+    # ingest_good (after the with), deferred_ok (nested def) and
+    # unrelated_receiver_ok (no telemetry keyword) stay clean.
+    assert {f.symbol for f in registry} == {
+        "ingest_bad", "observe_bad", "record_bad", "merge_bad",
+    }
+    # tracer.metrics.count under lock is exactly one finding, owned by
+    # the tracer rule.
+    tracer = by_rule(report, "tracer-call-under-lock")
+    assert [f.symbol for f in tracer] == ["tracer_rule_wins"]
+    assert tracer[0].line == marker_line(
+        "seeded_registry_lock.py", "TRACER_WINS"
+    )
+    assert len(report.findings) == 5
+
+
 # ---------------------------------------------------------------------------
 # whole-directory run: the acceptance-criteria shape
 # ---------------------------------------------------------------------------
@@ -245,6 +277,15 @@ EXPECTED_DIR_FINDINGS = {
     ("tracer-call-under-lock", "seeded_tracer_lock.py", "SPAN_UNDER_LOCK"),
     ("tracer-call-under-lock", "seeded_tracer_lock.py",
      "END_SPAN_UNDER_LOCK"),
+    ("registry-call-under-lock", "seeded_registry_lock.py",
+     "INGEST_UNDER_LOCK"),
+    ("registry-call-under-lock", "seeded_registry_lock.py",
+     "OBSERVE_UNDER_LOCK"),
+    ("registry-call-under-lock", "seeded_registry_lock.py",
+     "RECORD_UNDER_LOCK"),
+    ("registry-call-under-lock", "seeded_registry_lock.py",
+     "MERGE_UNDER_LOCK"),
+    ("tracer-call-under-lock", "seeded_registry_lock.py", "TRACER_WINS"),
     ("rpc-under-lock", "seeded_rpc_under_lock.py", "RPC_UNDER_LOCK"),
     ("kernel-block-transitive", "seeded_kernel_block.py",
      "TRANSITIVE_SLEEP"),
@@ -297,5 +338,5 @@ def test_cli_list_rules(capsys):
     for rule in ("unguarded-write", "lock-order-cycle", "unhandled-kind",
                  "dead-kind", "raw-kind-literal", "unserializable-attr",
                  "blocking-sleep-in-handler", "tracer-call-under-lock",
-                 "parse-error"):
+                 "registry-call-under-lock", "parse-error"):
         assert rule in out
