@@ -36,6 +36,7 @@ from repro.errors import (
     PersistenceError,
     RegistrationError,
     RemoteInvocationError,
+    RetriesExhaustedError,
 )
 from repro.obs import events as ev
 from repro.obs import spans
@@ -439,13 +440,42 @@ class AppOA(HolderEndpoints):
                     fire, name=f"oinvoke-{method}@{self.app_id}", context={}
                 )
                 return
-            self.endpoint.send_oneway(
-                location, M.ONEWAY_INVOKE, (ref.obj_id, method, params)
-            )
+            if self.runtime.transport.retry_policy is not None:
+                # Reliability on: carry the one-sided call on an acked,
+                # retried RPC so a dropped message does not silently
+                # lose it.  Still fire-and-forget for the application.
+                self._reliable_oneway(location, (ref.obj_id, method, params))
+            else:
+                self.endpoint.send_oneway(
+                    location, M.ONEWAY_INVOKE, (ref.obj_id, method, params)
+                )
         finally:
             if span is not None and span.installed:
                 tracer.end_span(span, ts=self.world.now())
                 tracer.count("invoke.oneway", host=self.home)
+
+    def _reliable_oneway(self, location: Addr, payload: Any) -> None:
+        """Ship a one-sided call via a retried RPC on a worker process.
+
+        ``ONEWAY_INVOKE`` replies ``None``, which here serves purely as
+        a delivery ack.  Transport failures (including exhausted
+        retries) are swallowed: one-sided semantics promise the caller
+        nothing, so best-effort-with-retries strictly improves on the
+        bare ``send_oneway`` without changing the API contract."""
+        from repro.errors import TransportError
+
+        def worker() -> None:
+            try:
+                self.endpoint.rpc(
+                    location, M.ONEWAY_INVOKE, payload,
+                    timeout=self.rpc_timeout,
+                )
+            except TransportError:
+                pass
+
+        self.world.kernel.spawn(
+            worker, name=f"oinvoke-reliable@{self.app_id}", context={}
+        )
 
     # ------------------------------------------------------------------------
     # bulk invocation (extension: per-destination request batching)
@@ -563,6 +593,17 @@ class AppOA(HolderEndpoints):
                 outcomes = self.endpoint.rpc(
                     dest, M.INVOKE_BATCH, payload, timeout=self.rpc_timeout
                 )
+            except RetriesExhaustedError:
+                # Graceful degradation: the batch message is poisoned
+                # (too big for the loss rate, or the destination is
+                # sick), but the calls need not share its fate — retry
+                # each slot as a scalar invocation so only genuinely
+                # failed slots surface errors.
+                if self.tracer.enabled:
+                    self.tracer.count("invoke.batch.degraded",
+                                      host=self.home)
+                self._degrade_batch(group)
+                return
             except BaseException as exc:  # noqa: BLE001 - to every handle
                 for call in group:
                     self._finish_call(call, exc=exc)
@@ -608,6 +649,29 @@ class AppOA(HolderEndpoints):
                 self._finish_call(call, exc=exc)
             else:
                 self._finish_call(call, result=outcome)
+
+    def _degrade_batch(self, group: list[_BatchCall]) -> None:
+        """Per-slot scalar fallback after a batch-wide retry exhaustion.
+
+        Each slot re-resolves and retries independently (fresh redirect
+        chase, fresh retry budget), so a migrated-away or restarted
+        holder rescues its slots while truly dead ones fail with their
+        own :class:`RetriesExhaustedError`."""
+        for call in group:
+            prev = None
+            if call.span is not None:
+                prev = spans.set_context(call.span.ctx)
+            try:
+                result = self._invoke_with_redirect(
+                    call.ref, call.method, call.params
+                )
+            except BaseException as exc:  # noqa: BLE001 - to the handle
+                self._finish_call(call, exc=exc)
+            else:
+                self._finish_call(call, result=result)
+            finally:
+                if call.span is not None:
+                    spans.set_context(prev)
 
     def _finish_call(self, call: _BatchCall, result: Any = None,
                      exc: BaseException | None = None) -> None:

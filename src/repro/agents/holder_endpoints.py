@@ -33,6 +33,7 @@ class HolderEndpoints(ObjectHolder):
 
     def register_holder_handlers(self) -> None:
         ep = self.endpoint
+        self._install_dedup(ep)
         ep.register(M.PING, lambda msg: "pong")
         ep.register(M.CREATE_OBJECT, self._h_create_object)
         ep.register(M.CREATE_FROM_STATE, self._h_create_from_state)
@@ -46,6 +47,19 @@ class HolderEndpoints(ObjectHolder):
         ep.register(M.STATIC_REF, self._h_static_ref)
         ep.register(M.STATIC_GETVAR, self._h_static_getvar)
         ep.register(M.STATIC_SETVAR, self._h_static_setvar)
+
+    def _install_dedup(self, ep) -> None:
+        """Attach a replay cache when ``ShellConfig.dedup_window`` is set,
+        so retried tokened requests execute at most once on this holder."""
+        runtime = getattr(self, "runtime", None)
+        if runtime is None:
+            return
+        window = runtime.shell.config.dedup_window
+        if window is None:
+            return
+        from repro.rmi.reliability import ReplayCache
+
+        ep.dedup = ReplayCache(self.world.kernel, window)
 
     def _trace_migrate_step(self, obj_id: str, step: str) -> None:
         tracer = self.world.tracer

@@ -36,6 +36,17 @@ class ShellConfig:
     default_constraints: JSConstraints | None = None
     #: extension (off-path per paper): let the OAS react to NAS failures
     oas_failure_recovery: bool = False
+    #: :class:`repro.rmi.reliability.RetryPolicy` | None.  When set,
+    #: blocking endpoint RPCs retry transport failures with backoff and
+    #: carry idempotency tokens; None (default) keeps the paper's
+    #: fire-once semantics.
+    retry_policy: object | None = None
+    #: holder-side replay-cache window in sim seconds (None = no dedup);
+    #: size it above the retry policy's worst-case total backoff
+    dedup_window: float | None = None
+    #: :class:`repro.rmi.reliability.CircuitBreaker` | None — per-host
+    #: suspicion wired into the transport and placement ranking
+    circuit_breaker: object | None = None
 
 
 class JSShell:

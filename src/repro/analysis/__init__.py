@@ -42,6 +42,7 @@ from repro.analysis.lock_discipline import LockDisciplineChecker
 from repro.analysis.locality import LocalityChecker
 from repro.analysis.migration_safety import MigrationSafetyChecker
 from repro.analysis.protocol import ProtocolChecker
+from repro.analysis.retry import RetryDisciplineChecker
 from repro.analysis.runner import (
     Report,
     analyze_paths,
@@ -72,6 +73,7 @@ __all__ = [
     "Module",
     "Project",
     "ProtocolChecker",
+    "RetryDisciplineChecker",
     "ReachingDefinitions",
     "Report",
     "Severity",

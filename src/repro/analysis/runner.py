@@ -14,6 +14,7 @@ from repro.analysis.locality import LocalityChecker
 from repro.analysis.migration_safety import MigrationSafetyChecker
 from repro.analysis.obs_discipline import ObsDisciplineChecker
 from repro.analysis.protocol import ProtocolChecker
+from repro.analysis.retry import RetryDisciplineChecker
 from repro.analysis.share import SymshareChecker
 
 SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
@@ -27,6 +28,7 @@ def default_checkers() -> list[Checker]:
         BlockingHandlerChecker(),
         ObsDisciplineChecker(),
         InterproceduralChecker(),
+        RetryDisciplineChecker(),
         LocalityChecker(),
         SymshareChecker(),
     ]

@@ -1,0 +1,29 @@
+"""Deterministic, seeded fault injection over simnet (the chaos plane).
+
+Declare *what* goes wrong with a :class:`FaultPlan` (message drops,
+duplicates, delays, reordering, gray-failure stalls, segment partitions,
+crash-restarts), then :class:`ChaosInjector` executes it against a
+world, hooked into the transport's wire.  All randomness comes from the
+kernel RNG, so a given (plan, seed) pair replays bit-identically —
+chaos runs are reproducible experiments, not flaky ones.
+
+CLI: ``python -m repro chaos matmul --random --seed 7``.
+"""
+
+from repro.chaos.inject import ChaosInjector
+from repro.chaos.plan import (
+    CrashRestart,
+    FaultPlan,
+    HostStall,
+    MessageFault,
+    Partition,
+)
+
+__all__ = [
+    "ChaosInjector",
+    "CrashRestart",
+    "FaultPlan",
+    "HostStall",
+    "MessageFault",
+    "Partition",
+]

@@ -1,0 +1,293 @@
+"""Fault plans: the declarative half of the chaos plane.
+
+A :class:`FaultPlan` is a list of scheduled faults — message-level
+(drop / duplicate / delay / reorder), gray-failure stalls, segment
+partitions with heal times, and crash-restarts.  Plans come from three
+places: built programmatically (tests), parsed from a compact spec
+string (``repro chaos --plan``), or generated from a seed
+(``repro chaos --random --seed N``).  Plans are pure data; the
+:class:`repro.chaos.inject.ChaosInjector` executes them against a world,
+drawing every probabilistic decision from the kernel RNG stream
+``"chaos"`` so a given (plan, seed) pair replays bit-identically.
+
+Spec grammar (clauses separated by ``;``, options by ``,``)::
+
+    drop:p=0.1                      # drop 10% of messages
+    drop:p=1,kinds=invoke,stage=reply,max=1   # exactly the 1st invoke reply
+    duplicate:p=0.05                # duplicate 5% of messages
+    delay:p=0.2,delay=0.5           # +~0.5 s on 20% of messages
+    reorder:p=0.3,delay=0.05        # jitter deliveries out of order
+    stall:host=pc3,at=5,dur=5       # gray-fail pc3 for 5 s at t=5
+    partition:segment=hub-10,at=3,heal=4      # cut the hub off, heal at 7
+    crash:host=pc2,at=4,restart=9   # crash pc2 at 4, restart at 9
+
+Message-fault options: ``p`` (probability), ``start``/``end`` (active
+window in sim seconds), ``hosts`` (``|``-separated, matches src *or*
+dst), ``kinds`` (``|``-separated message kinds), ``stage`` (``request``
+or ``reply``), ``max`` (injection budget), ``delay`` (seconds, for
+delay/duplicate/reorder shifts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import JSError
+
+MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay", "reorder")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """One probabilistic fault on the message plane."""
+
+    kind: str                       # drop | duplicate | delay | reorder
+    probability: float = 0.1
+    start: float = 0.0              # active window [start, end)
+    end: float | None = None
+    hosts: frozenset | None = None  # match src OR dst host; None = all
+    kinds: frozenset | None = None  # message kinds; None = all
+    stage: str | None = None        # "request" | "reply" | None = both
+    #: seconds of shift for delay faults; jitter range for
+    #: reorder/duplicate offsets
+    delay: float = 0.05
+    #: total injection budget (None = unlimited)
+    max_count: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_FAULT_KINDS:
+            raise JSError(f"unknown message fault kind {self.kind!r}")
+        if not (0.0 <= self.probability <= 1.0):
+            raise JSError("fault probability must be in [0, 1]")
+        if self.stage not in (None, "request", "reply"):
+            raise JSError(f"unknown fault stage {self.stage!r}")
+
+    def matches(self, msg, stage: str, now: float) -> bool:
+        """Is this fault eligible for ``msg`` at ``now`` (pre-dice)?"""
+        if now < self.start:
+            return False
+        if self.end is not None and now >= self.end:
+            return False
+        if self.stage is not None and stage != self.stage:
+            return False
+        if self.kinds is not None and msg.kind not in self.kinds:
+            return False
+        if self.hosts is not None and not (
+            msg.src.host in self.hosts or msg.dst.host in self.hosts
+        ):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class HostStall:
+    """Transient gray failure: up but ~unresponsive for ``duration``."""
+
+    host: str
+    at: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut one topology segment off from the rest of the network.
+
+    While active (``[at, at + heal)``), every message with exactly one
+    end attached to ``segment`` is dropped; intra-segment traffic still
+    flows."""
+
+    segment: str
+    at: float
+    heal: float
+
+    @property
+    def healed_at(self) -> float:
+        return self.at + self.heal
+
+    def active(self, now: float) -> bool:
+        return self.at <= now < self.healed_at
+
+
+@dataclass(frozen=True)
+class CrashRestart:
+    """Crash ``host`` at ``at``; bring it back blank at ``restart_at``
+    (``None`` = stays down, the seed's permanent-failure behavior)."""
+
+    host: str
+    at: float
+    restart_at: float | None = None
+
+
+@dataclass
+class FaultPlan:
+    message_faults: list = field(default_factory=list)
+    stalls: list = field(default_factory=list)
+    partitions: list = field(default_factory=list)
+    crashes: list = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.message_faults or self.stalls
+            or self.partitions or self.crashes
+        )
+
+    def describe(self) -> str:
+        parts = []
+        for f in self.message_faults:
+            parts.append(f"{f.kind}(p={f.probability})")
+        for s in self.stalls:
+            parts.append(f"stall({s.host}@{s.at}+{s.duration})")
+        for p in self.partitions:
+            parts.append(f"partition({p.segment}@{p.at}+{p.heal})")
+        for c in self.crashes:
+            tail = "" if c.restart_at is None else f"->{c.restart_at}"
+            parts.append(f"crash({c.host}@{c.at}{tail})")
+        return " ".join(parts) or "(empty plan)"
+
+    # -- spec parsing ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the compact clause grammar (module docstring)."""
+        plan = cls()
+        for raw in spec.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            name, _, rest = clause.partition(":")
+            name = name.strip()
+            opts = _parse_opts(rest, clause)
+            if name in MESSAGE_FAULT_KINDS:
+                plan.message_faults.append(MessageFault(
+                    kind=name,
+                    probability=float(opts.pop("p", 0.1)),
+                    start=float(opts.pop("start", 0.0)),
+                    end=_opt_float(opts.pop("end", None)),
+                    hosts=_opt_set(opts.pop("hosts", None)),
+                    kinds=_opt_set(opts.pop("kinds", None)),
+                    stage=opts.pop("stage", None),
+                    delay=float(opts.pop("delay", 0.05)),
+                    max_count=_opt_int(opts.pop("max", None)),
+                ))
+            elif name == "stall":
+                plan.stalls.append(HostStall(
+                    host=_require(opts, "host", clause),
+                    at=float(opts.pop("at", 0.0)),
+                    duration=float(opts.pop("dur", 1.0)),
+                ))
+            elif name == "partition":
+                plan.partitions.append(Partition(
+                    segment=_require(opts, "segment", clause),
+                    at=float(opts.pop("at", 0.0)),
+                    heal=float(opts.pop("heal", 1.0)),
+                ))
+            elif name == "crash":
+                plan.crashes.append(CrashRestart(
+                    host=_require(opts, "host", clause),
+                    at=float(opts.pop("at", 0.0)),
+                    restart_at=_opt_float(opts.pop("restart", None)),
+                ))
+            else:
+                raise JSError(f"unknown chaos clause {name!r} in {clause!r}")
+            if opts:
+                raise JSError(
+                    f"unknown option(s) {sorted(opts)} in chaos clause "
+                    f"{clause!r}"
+                )
+        return plan
+
+    # -- seeded generation ----------------------------------------------------
+
+    @classmethod
+    def random_plan(
+        cls,
+        seed: int,
+        hosts: list[str],
+        segments: list[str] = (),
+        horizon: float = 60.0,
+    ) -> "FaultPlan":
+        """A moderate random plan: lossy-but-survivable message faults
+        plus at most one stall and one crash-restart.  Deterministic in
+        ``seed`` (plan *generation* uses its own ``random.Random``; plan
+        *execution* draws from the kernel RNG)."""
+        rng = random.Random(seed)
+        plan = cls()
+        plan.message_faults.append(MessageFault(
+            kind="drop", probability=rng.uniform(0.02, 0.10),
+        ))
+        if rng.random() < 0.5:
+            plan.message_faults.append(MessageFault(
+                kind="duplicate", probability=rng.uniform(0.01, 0.05),
+            ))
+        if rng.random() < 0.5:
+            plan.message_faults.append(MessageFault(
+                kind="delay", probability=rng.uniform(0.05, 0.20),
+                delay=rng.uniform(0.05, 0.5),
+            ))
+        if rng.random() < 0.5:
+            plan.message_faults.append(MessageFault(
+                kind="reorder", probability=rng.uniform(0.05, 0.30),
+                delay=rng.uniform(0.01, 0.1),
+            ))
+        if hosts and rng.random() < 0.7:
+            plan.stalls.append(HostStall(
+                host=rng.choice(sorted(hosts)),
+                at=rng.uniform(0.1, horizon / 2),
+                duration=rng.uniform(1.0, 8.0),
+            ))
+        # Crash a non-home host (the first host conventionally runs the
+        # application and the domain NAS; crashing it kills the run
+        # rather than exercising recovery).
+        crashable = sorted(hosts)[1:]
+        if crashable and rng.random() < 0.4:
+            at = rng.uniform(0.1, horizon / 2)
+            plan.crashes.append(CrashRestart(
+                host=rng.choice(crashable), at=at,
+                restart_at=at + rng.uniform(2.0, 10.0),
+            ))
+        if segments and rng.random() < 0.3:
+            plan.partitions.append(Partition(
+                segment=rng.choice(sorted(segments)),
+                at=rng.uniform(0.1, horizon / 2),
+                heal=rng.uniform(0.5, 3.0),
+            ))
+        return plan
+
+
+def _parse_opts(rest: str, clause: str) -> dict:
+    opts: dict[str, str] = {}
+    for pair in rest.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise JSError(
+                f"malformed option {pair!r} in chaos clause {clause!r}"
+            )
+        opts[key.strip()] = value.strip()
+    return opts
+
+
+def _require(opts: dict, key: str, clause: str) -> str:
+    try:
+        return opts.pop(key)
+    except KeyError:
+        raise JSError(
+            f"chaos clause {clause!r} needs a {key}= option"
+        ) from None
+
+
+def _opt_float(value) -> float | None:
+    return None if value is None else float(value)
+
+
+def _opt_int(value) -> int | None:
+    return None if value is None else int(value)
+
+
+def _opt_set(value) -> frozenset | None:
+    if value is None:
+        return None
+    return frozenset(part for part in value.split("|") if part)

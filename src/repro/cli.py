@@ -412,6 +412,97 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the matmul builtin under a fault plan, reliability layer on
+    (unless ``--no-retry``), and report what was injected and whether
+    the workload survived.
+
+    Exit code contract mirrors the chaos soak property: 0 when the
+    workload completed correctly *or* failed with a typed
+    :class:`~repro.errors.JSError` (faults are allowed to lose a run,
+    never to corrupt one); 1 on a wrong result or an untyped crash."""
+    from repro.agents.shell import ShellConfig
+    from repro.chaos import ChaosInjector, FaultPlan
+    from repro.errors import JSError
+    from repro.obs import Tracer, tracing
+    from repro.rmi.reliability import CircuitBreaker, RetryPolicy
+
+    if args.target != "matmul":
+        print(f"no such chaos target {args.target!r}; only the 'matmul' "
+              "builtin is supported", file=sys.stderr)
+        return 2
+    if (args.plan is None) == (not args.random):
+        print("chaos needs exactly one of --plan SPEC or --random",
+              file=sys.stderr)
+        return 2
+    parsed_plan = None
+    if args.plan is not None:
+        try:
+            parsed_plan = FaultPlan.parse(args.plan)
+        except JSError as exc:
+            print(f"bad chaos plan: {exc}", file=sys.stderr)
+            return 2
+    with tracing(Tracer()) as tracer:
+        shell = ShellConfig(rpc_timeout=args.rpc_timeout)
+        if not args.no_retry:
+            shell.retry_policy = RetryPolicy()
+            shell.dedup_window = 60.0
+            shell.circuit_breaker = CircuitBreaker()
+        config = TestbedConfig(
+            load_profile=args.profile, seed=args.seed, shell=shell,
+            incident_dir=args.incident_dir,
+        )
+        runtime = vienna_testbed(config)
+        if parsed_plan is not None:
+            plan = parsed_plan
+        else:
+            plan = FaultPlan.random_plan(
+                args.seed, runtime.world.host_names()
+            )
+        injector = ChaosInjector(runtime.world, plan).install(
+            runtime.transport
+        )
+        print(f"chaos plan : {plan.describe()}")
+        print(f"reliability: "
+              f"{'off (--no-retry)' if args.no_retry else 'retries on'}")
+        failure: BaseException | None = None
+        result = None
+        try:
+            result = runtime.run_app(
+                lambda: run_matmul(
+                    MatmulConfig(n=args.n, nr_nodes=args.nodes,
+                                 real_compute=args.real)
+                )
+            )
+        except JSError as exc:
+            failure = exc
+        merged = tracer.merged_host_metrics()
+        counters = merged.get("counters", merged) if isinstance(
+            merged, dict) else {}
+        tally = ", ".join(
+            f"{fault}={count}"
+            for fault, count in sorted(injector.injected.items())
+        ) or "(nothing injected)"
+        print(f"injected   : {tally}")
+        for counter in ("rpc.retries", "rpc.dedup.hits", "rpc.timeouts"):
+            value = counters.get(counter)
+            if value:
+                print(f"  {counter:<14s}: {value}")
+        if runtime.flight.incidents:
+            print(f"incidents  : {len(runtime.flight.incidents)} captured"
+                  + (f" in {args.incident_dir}" if args.incident_dir
+                     else " (in memory)"))
+        if failure is not None:
+            print(f"workload   : FAILED (typed) "
+                  f"{type(failure).__name__}: {failure}")
+            return 0
+        verified = getattr(result, "correct", None)
+        print(f"workload   : completed in {result.elapsed:.2f} simulated "
+              f"seconds" + (f", verified={verified}"
+                            if verified is not None else ""))
+        return 0 if verified in (True, None) else 1
+
+
 def cmd_incidents(args: argparse.Namespace) -> int:
     import os
 
@@ -660,6 +751,38 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["dedicated", "night", "day"])
     p_metrics.add_argument("--seed", type=int, default=1)
     p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a builtin under seeded fault injection with the "
+             "reliable-RMI layer enabled",
+    )
+    p_chaos.add_argument("target", help="the 'matmul' builtin")
+    p_chaos.add_argument("--plan", default=None, metavar="SPEC",
+                         help="fault plan spec, e.g. "
+                              "'drop:p=0.1; stall:host=bruno,at=2,dur=5'")
+    p_chaos.add_argument("--random", action="store_true",
+                         help="generate a random plan from --seed")
+    p_chaos.add_argument("--seed", type=int, default=1,
+                         help="world seed AND random-plan seed")
+    p_chaos.add_argument("--no-retry", action="store_true",
+                         help="disable the reliability layer (show the "
+                              "raw fault impact)")
+    p_chaos.add_argument("--rpc-timeout", type=float, default=3.0,
+                         help="per-RPC reply timeout in simulated "
+                              "seconds (default 3)")
+    p_chaos.add_argument("--incident-dir", default=None, metavar="DIR",
+                         help="write flight-recorder incident bundles "
+                              "here")
+    p_chaos.add_argument("--n", type=int, default=64,
+                         help="matmul: matrix dimension")
+    p_chaos.add_argument("--nodes", type=int, default=4,
+                         help="matmul: node count")
+    p_chaos.add_argument("--real", action="store_true",
+                         help="really multiply (and verify) the matrices")
+    p_chaos.add_argument("--profile", default="night",
+                         choices=["dedicated", "night", "day"])
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_inc = sub.add_parser(
         "incidents",

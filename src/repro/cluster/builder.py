@@ -66,10 +66,24 @@ class JSRuntime:
         #: simulated "URL space" for codebase.add(url)
         self.url_store: dict[str, list[str]] = {}
         self._started = False
+        # Reliability layer (ISSUE 10): both knobs default to None, so
+        # without explicit ShellConfig opt-in the transport keeps the
+        # paper's fire-once semantics.
+        self.transport.retry_policy = self.shell.config.retry_policy
+        self.transport.health = self.shell.config.circuit_breaker
+        if self.transport.health is not None:
+            self.transport.health.on_state = self._on_circuit_state
+        # Where each host registered originally, for NAS re-registration
+        # after a crash-restart.
+        self._host_homes = {
+            host: (self.nas.cluster_of(host), self.nas.site_of(host))
+            for host in self.nas.known_hosts()
+        }
         for host in self.nas.known_hosts():
             self.ensure_pub_oa(host)
         # Keep pool membership in sync when the NAS releases failed nodes.
         self.nas.failure_listeners.append(self._on_node_failure)
+        world.restart_listeners.append(self._on_node_restart)
         # The failure flight recorder: trace-event triggers (host.failed,
         # slo.alert, rpc.timeout) via the tracer, sanitizer findings
         # (deadlock / risky migration) via its failure hooks.  attach()
@@ -129,9 +143,40 @@ class JSRuntime:
         # unless the checkpoint-recovery extension is switched on.
         if host in self.pool.hosts:
             self.pool.remove_host(host)
+        if self.transport.health is not None:
+            # NAS-confirmed death outranks suspicion: trip immediately so
+            # reliable RPC sheds traffic instead of burning retry budget.
+            self.transport.health.force_open(host, self.world.now())
         if self.shell.config.oas_failure_recovery:
             for app in list(self.apps.values()):
                 app.recover_from_failure(host)
+
+    def _on_node_restart(self, host: str) -> None:
+        """Crash-restart: the machine came back as a blank slate, so the
+        agents layer must too — fresh holder tables (a new PubOA), NAS
+        re-registration under the original cluster/site, pool
+        membership, and a clean circuit."""
+        old = self.pub_oas.pop(host, None)
+        if old is not None:
+            # The pre-crash endpoint's handlers close over dead holder
+            # tables; close it so the fresh PubOA can re-register.
+            old.endpoint.close()
+        if self.nas.cluster_of(host) is None:
+            cluster, site = self._host_homes.get(host, (None, None))
+            if cluster is not None:
+                self.nas.add_node(host, cluster, site)
+        if host not in self.pool.hosts:
+            self.pool.add_host(host)
+        self.ensure_pub_oa(host)
+        if self.transport.health is not None:
+            self.transport.health.reset(host)
+
+    def _on_circuit_state(self, host: str, state: str) -> None:
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.emit(ev.CIRCUIT_STATE, ts=self.world.now(), host=host,
+                        state=state)
+            tracer.count(f"circuit.{state}", host=host)
 
     # -- telemetry -----------------------------------------------------------
 
@@ -302,6 +347,13 @@ class JSRuntime:
             if host not in self.pool.hosts:
                 continue
             if self.world.machine(host).failed:
+                continue
+            if (
+                self.transport.health is not None
+                and self.transport.health.suspected(host)
+            ):
+                # Circuit open or probing: shed new placements until the
+                # breaker closes again.
                 continue
             snap = self.pool.snapshot(host)
             if not merged.holds(snap):

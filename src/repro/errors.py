@@ -44,6 +44,27 @@ class NodeFailedError(TransportError):
     """The peer host has failed; the message was dropped."""
 
 
+class RetriesExhaustedError(TransportError):
+    """Every retry attempt of a reliable RPC failed.
+
+    Carries the per-attempt trace (a list of
+    :class:`repro.rmi.reliability.AttemptTrace`) so callers and incident
+    bundles can see what was tried, against whom, and how each attempt
+    died.  Deliberately *not* a subclass of :class:`RPCTimeoutError`:
+    with a retry policy installed, raw timeouts are an internal signal
+    and this typed error is the user-visible surface."""
+
+    def __init__(self, message: str, attempts: list | None = None):
+        super().__init__(message)
+        self.attempts = list(attempts or [])
+
+
+class CircuitOpenError(TransportError):
+    """The per-host circuit breaker is open: the destination has failed
+    enough consecutive calls that new traffic is shed without being
+    sent (it would only burn the caller's timeout budget)."""
+
+
 class RegistrationError(JSError):
     """Application registration/unregistration misuse."""
 

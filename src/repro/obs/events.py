@@ -58,9 +58,24 @@ a ``minvoke`` group)
 ``host.failed`` (instant)
     a machine failing; open spans on it are force-closed with a
     ``host_failed: True`` field (their events are kept, not lost)
+``host.restarted`` (instant)
+    a crashed machine coming back (fresh holder tables, NAS
+    re-registration); later events on the host lose the
+    ``host_failed`` taint
 ``rpc.timeout`` (instant)
     kind, msg_id, waited; a caller gave up on a reply
     (:class:`~repro.transport.errors.RPCTimeoutError`)
+``rpc.retry`` (instant)
+    kind, dst, attempt, backoff, error; the reliability layer is about
+    to re-send a failed attempt (see :mod:`repro.rmi.reliability`)
+``circuit.state`` (instant)
+    host, state (``closed`` | ``open`` | ``half-open``); the per-host
+    circuit breaker changed state
+``chaos.inject`` (instant)
+    fault (``drop`` | ``duplicate`` | ``delay`` | ``reorder`` |
+    ``partition`` | ``stall`` | ``crash`` | ``restart``), stage, kind,
+    src, dst; the chaos plane injected one fault
+    (see :mod:`repro.chaos`)
 ``slo.alert`` (instant)
     rule, metric, value, threshold, window; an SLO rule breached for
     one evaluation window (see :mod:`repro.obs.slo`)
@@ -110,7 +125,11 @@ NAS_RELEASE = "nas.release"
 NAS_TAKEOVER = "nas.takeover"
 
 HOST_FAILED = "host.failed"
+HOST_RESTARTED = "host.restarted"
 RPC_TIMEOUT = "rpc.timeout"
+RPC_RETRY = "rpc.retry"
+CIRCUIT_STATE = "circuit.state"
+CHAOS_INJECT = "chaos.inject"
 SLO_ALERT = "slo.alert"
 FLIGHT_RECORD = "flight.record"
 

@@ -45,7 +45,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.obs import spans as _spans
-from repro.obs.events import HOST_FAILED, TraceEvent
+from repro.obs.events import HOST_FAILED, HOST_RESTARTED, TraceEvent
 from repro.obs.metrics import Metrics
 from repro.obs.spans import OpenSpan, TraceContext
 
@@ -87,6 +87,9 @@ class NullTracer:
         pass
 
     def host_failed(self, host: str, ts: float) -> None:
+        pass
+
+    def host_restarted(self, host: str, ts: float) -> None:
         pass
 
 
@@ -298,6 +301,14 @@ class Tracer(NullTracer):
             self.emit(span.etype, ts=span.ts, host=host, actor=span.actor,
                       dur=max(0.0, ts - span.ts), ctx=span.ctx, **merged)
         self.emit(HOST_FAILED, ts=ts, host=host)
+
+    def host_restarted(self, host: str, ts: float) -> None:
+        """A crashed machine came back: stop tainting its events.  The
+        ``host_failed`` marks on pre-restart events are history and stay;
+        spans opened after the restart belong to the fresh incarnation
+        and must not inherit the taint."""
+        self._failed_hosts.discard(host)
+        self.emit(HOST_RESTARTED, ts=ts, host=host)
 
 
 _current: NullTracer = NULL_TRACER

@@ -8,5 +8,14 @@ package exports the user-visible pieces.
 from repro.agents.objects import js_compute, jsclass
 from repro.rmi.handle import ResultHandle
 from repro.rmi.multi import MultiHandle, minvoke
+from repro.rmi.reliability import CircuitBreaker, RetryPolicy
 
-__all__ = ["js_compute", "jsclass", "MultiHandle", "ResultHandle", "minvoke"]
+__all__ = [
+    "js_compute",
+    "jsclass",
+    "CircuitBreaker",
+    "MultiHandle",
+    "ResultHandle",
+    "RetryPolicy",
+    "minvoke",
+]

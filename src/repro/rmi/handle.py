@@ -52,7 +52,14 @@ class ResultHandle:
 
     def get_result(self, timeout: float | None = None) -> Any:
         """Block until the result arrives and return it, re-raising any
-        remote exception (paper: ``getResult``)."""
+        remote exception (paper: ``getResult``).
+
+        With a retry policy installed the carrying worker already
+        retried transport failures; what re-raises here is either the
+        application's own exception or a typed
+        :class:`repro.errors.RetriesExhaustedError` /
+        :class:`repro.errors.CircuitOpenError` from the reliability
+        layer."""
         san = current_sanitizer()
         if san.enabled:
             san.handle_awaited(self)

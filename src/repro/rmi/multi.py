@@ -114,6 +114,21 @@ class MultiHandle:
                 collected.append(exc)
         return collected
 
+    def failures(
+        self, timeout: float | None = None
+    ) -> list[tuple[int, BaseException]]:
+        """The degradation view: ``(index, exception)`` for every failed
+        slot, empty when the whole batch succeeded.  With a retry policy
+        installed, transport-level slot failures arrive here as
+        :class:`repro.errors.RetriesExhaustedError` (carrying the
+        attempt trace) after the reliability layer gave up — successful
+        slots are unaffected."""
+        return [
+            (i, outcome)
+            for i, outcome in enumerate(self.outcomes(timeout))
+            if isinstance(outcome, BaseException)
+        ]
+
     def as_completed(
         self, timeout: float | None = None
     ) -> Iterator[tuple[int, Any]]:

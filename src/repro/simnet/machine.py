@@ -22,6 +22,12 @@ from repro.simnet.load import ConstantLoad, LoadModel
 #: A machine under 100% external load still makes *some* progress.
 MIN_CPU_SHARE = 0.03
 
+#: CPU share during a gray-failure stall: the machine is "up" (not
+#: failed) but barely responsive — a swap storm, a GC pause, a wedged
+#: NIC driver.  Progress is ~nil but nonzero, so stalled computations
+#: resume instead of restarting once the stall heals.
+STALL_CPU_SHARE = 0.001
+
 
 @dataclass
 class MachineCounters:
@@ -49,6 +55,8 @@ class Machine:
     js_mem_mb: float = 0.0
     #: MB held by codebases loaded to this host
     codebase_mem_mb: float = 0.0
+    #: gray failure: until this sim time the host is up but ~unresponsive
+    stalled_until: float = 0.0
     counters: MachineCounters = field(default_factory=MachineCounters)
 
     @property
@@ -62,7 +70,13 @@ class Machine:
 
     def cpu_share(self, t: float) -> float:
         """Fraction of the CPU available to PySymphony work at ``t``."""
+        if t < self.stalled_until:
+            return STALL_CPU_SHARE
         return max(MIN_CPU_SHARE, 1.0 - self.background_load(t))
+
+    def stall(self, until: float) -> None:
+        """Gray-fail the host until sim time ``until`` (still "alive")."""
+        self.stalled_until = max(self.stalled_until, until)
 
     def effective_flops(self, t: float, concurrency: int | None = None) -> float:
         """FLOP/s one task gets, given ``concurrency`` JS tasks sharing."""
@@ -120,3 +134,17 @@ class Machine:
 
     def restore(self) -> None:
         self.failed = False
+
+    def restart(self) -> None:
+        """Bring a crashed machine back as a blank slate.
+
+        Unlike :meth:`restore` (which pretends the failure never
+        happened), a restart loses all runtime state: resident objects,
+        loaded codebases, and in-flight tasks are gone.  The agents
+        layer reacts through ``world.restart_listeners`` (fresh holder
+        tables, NAS re-registration)."""
+        self.failed = False
+        self.active_tasks = 0
+        self.js_mem_mb = 0.0
+        self.codebase_mem_mb = 0.0
+        self.stalled_until = 0.0

@@ -41,6 +41,10 @@ class SimWorld:
         #: called with the host name whenever :meth:`fail_host` fires, so
         #: components can shed per-host state (e.g. FIFO ordering floors).
         self.failure_listeners: list[Callable[[str], None]] = []
+        #: called with the host name whenever :meth:`restart_host` fires,
+        #: so the agents layer can rebuild fresh per-host state (holder
+        #: tables, NAS registration, a new public object agent).
+        self.restart_listeners: list[Callable[[str], None]] = []
 
     # -- construction --------------------------------------------------------
 
@@ -158,8 +162,30 @@ class SimWorld:
     def restore_host(self, name: str) -> None:
         self.machine(name).restore()
 
+    def restart_host(self, name: str) -> None:
+        """Crash-*restart*: the machine comes back as a blank slate.
+
+        All runtime state is lost (:meth:`Machine.restart`); the tracer
+        drops the ``host_failed`` taint so post-restart spans read clean,
+        and ``restart_listeners`` rebuild the agents-layer state."""
+        self.machine(name).restart()
+        if self.tracer.enabled:
+            self.tracer.host_restarted(name, self.now())
+        for listener in list(self.restart_listeners):
+            listener(name)
+
+    def stall_host(self, name: str, duration: float) -> None:
+        """Gray-fail ``name`` for ``duration`` sim seconds: still "up"
+        (messages flow, NAS sees it) but making ~zero compute progress."""
+        if duration < 0:
+            raise ValueError("negative stall duration")
+        self.machine(name).stall(self.now() + duration)
+
     def schedule_failure(self, name: str, at: float) -> None:
         self.kernel.call_at(at, self.fail_host, name)
+
+    def schedule_restart(self, name: str, at: float) -> None:
+        self.kernel.call_at(at, self.restart_host, name)
 
     def alive_hosts(self) -> list[str]:
         return [n for n, m in sorted(self.machines.items()) if not m.failed]

@@ -59,6 +59,11 @@ class Message:
     #: the request span's context, carried across the wire so the
     #: handler-side exec span joins the caller's trace
     ctx: TraceContext | None = None
+    #: idempotency token: identical across every retry of one logical
+    #: call (each retry still gets a fresh ``msg_id``), so the holder's
+    #: :class:`repro.rmi.reliability.ReplayCache` can serve a duplicate
+    #: from cache instead of re-executing.  ``None`` = unreliable call.
+    token: str | None = None
 
 
 @dataclass
@@ -92,6 +97,9 @@ class Endpoint:
         self.addr = addr
         self._handlers: dict[str, Callable[[Message], Any]] = {}
         self.closed = False
+        #: optional :class:`repro.rmi.reliability.ReplayCache`; when set,
+        #: tokened requests execute at most once (see :meth:`Transport._execute`)
+        self.dedup = None
 
     def register(self, kind: str, handler: Callable[[Message], Any]) -> None:
         if kind in self._handlers:
@@ -122,7 +130,16 @@ class Endpoint:
         timeout: float | None = None,
     ) -> Any:
         """Blocking RPC; returns the reply value or raises the remote
-        exception / :class:`repro.errors.RPCTimeoutError`."""
+        exception / :class:`repro.errors.RPCTimeoutError`.
+
+        With a retry policy installed on the transport this becomes a
+        *reliable* call: failed attempts are retried with backoff and
+        exhaustion surfaces as
+        :class:`repro.errors.RetriesExhaustedError`."""
+        if self.transport.retry_policy is not None:
+            return self.transport.reliable_rpc(
+                self.addr, dst, kind, payload, timeout=timeout
+            )
         return self.transport.rpc(self.addr, dst, kind, payload).result_or_timeout(
             timeout
         )
@@ -206,6 +223,14 @@ class Transport:
         # must not outlive them (a recovered host would otherwise queue
         # behind pre-crash delivery times).
         world.failure_listeners.append(self._prune_fifo)
+        #: :class:`repro.rmi.reliability.RetryPolicy` | None — when set,
+        #: :meth:`Endpoint.rpc` routes through :meth:`reliable_rpc`.
+        self.retry_policy = None
+        #: :class:`repro.rmi.reliability.CircuitBreaker` | None
+        self.health = None
+        #: :class:`repro.chaos.ChaosInjector` | None — fault hook on the
+        #: wire: may drop/duplicate/delay scheduled deliveries.
+        self.chaos = None
         #: sender-side CPU cost of an RMI: dispatch plus serialization.
         #: JDK 1.2 object serialization ran at a handful of MB/s, a large
         #: part of why "a larger number of RMIs" degrades the paper's
@@ -237,11 +262,112 @@ class Transport:
 
     # -- send path -------------------------------------------------------------
 
-    def rpc(self, src: Addr, dst: Addr, kind: str, payload: Any) -> Reply:
+    def rpc(
+        self,
+        src: Addr,
+        dst: Addr,
+        kind: str,
+        payload: Any,
+        token: str | None = None,
+    ) -> Reply:
         future = self.world.kernel.create_future()
         self.stats.rpcs += 1
-        self.send(src, dst, kind, payload, oneway=False, reply_future=future)
+        self.send(src, dst, kind, payload, oneway=False, reply_future=future,
+                  token=token)
         return Reply(future, self, src=src, dst=dst, kind=kind)
+
+    def reliable_rpc(
+        self,
+        src: Addr,
+        dst: Addr,
+        kind: str,
+        payload: Any,
+        timeout: float | None = None,
+    ) -> Any:
+        """Blocking RPC with retries, per :attr:`retry_policy`.
+
+        Every attempt carries the same idempotency token (fresh
+        ``msg_id``), so holders with a dedup cache execute at most once.
+        Only transport-level failures (:class:`RPCTimeoutError`,
+        :class:`NodeFailedError`) are retried — an application exception
+        from the handler is a *delivered* outcome and re-raises
+        immediately.  Exhaustion raises
+        :class:`repro.errors.RetriesExhaustedError` carrying the
+        per-attempt trace; an open circuit sheds the call up front with
+        :class:`repro.errors.CircuitOpenError`."""
+        from repro.errors import (
+            CircuitOpenError,
+            RetriesExhaustedError,
+            RPCTimeoutError,
+        )
+        from repro.rmi.reliability import AttemptTrace
+
+        policy = self.retry_policy
+        kernel = self.world.kernel
+        if policy is None or kernel.current_process() is None:
+            # No policy, or no process to sleep in (module-level/test
+            # harness callers): seed fire-once semantics.
+            return self.rpc(src, dst, kind, payload).result_or_timeout(timeout)
+        health = self.health
+        token = self._ids.next("tok")
+        per_attempt = policy.per_attempt_timeout(timeout)
+        deadline = (
+            None if policy.deadline is None
+            else self.world.now() + policy.deadline
+        )
+        rng = self.world.rng.stream("retry")
+        attempts: list = []
+        for attempt in range(1, policy.max_attempts + 1):
+            now = self.world.now()
+            if health is not None and not health.allow(dst.host, now):
+                if attempts:
+                    raise RetriesExhaustedError(
+                        f"{kind} to {dst}: circuit opened after "
+                        f"{len(attempts)} failed attempt(s)",
+                        attempts=attempts,
+                    )
+                raise CircuitOpenError(
+                    f"{kind} to {dst}: circuit open for host {dst.host!r}"
+                )
+            started = self.world.now()
+            try:
+                value = self.rpc(
+                    src, dst, kind, payload, token=token
+                ).result_or_timeout(per_attempt)
+            except (RPCTimeoutError, NodeFailedError) as exc:
+                now = self.world.now()
+                attempts.append(AttemptTrace(
+                    attempt=attempt, dst=str(dst), kind=kind,
+                    started=started, elapsed=now - started,
+                    error=repr(exc),
+                ))
+                if health is not None:
+                    health.record_failure(dst.host, now)
+                backoff = policy.backoff(attempt, rng)
+                out_of_budget = (
+                    deadline is not None and now + backoff >= deadline
+                )
+                if attempt >= policy.max_attempts or out_of_budget:
+                    raise RetriesExhaustedError(
+                        f"{kind} to {dst} failed after {attempt} "
+                        f"attempt(s)"
+                        + (" (deadline exceeded)" if out_of_budget else ""),
+                        attempts=attempts,
+                    ) from exc
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.RPC_RETRY, ts=now, host=src.host,
+                        actor=str(src), kind=kind, dst=str(dst),
+                        attempt=attempt, backoff=backoff,
+                        error=type(exc).__name__,
+                    )
+                    self.tracer.count("rpc.retries", host=src.host)
+                kernel.sleep(backoff)
+            else:
+                if health is not None:
+                    health.record_success(dst.host)
+                return value
+        raise AssertionError("unreachable: retry loop is bounded")
 
     def send(
         self,
@@ -251,6 +377,7 @@ class Transport:
         payload: Any,
         oneway: bool = True,
         reply_future: Future | None = None,
+        token: str | None = None,
     ) -> None:
         if oneway:
             self.stats.oneways += 1
@@ -266,6 +393,7 @@ class Transport:
             payload=payload,
             nbytes=nbytes,
             sent_at=self.world.now(),
+            token=token,
         )
         self._charge_sender_cpu(src.host, nbytes)
         try:
@@ -288,7 +416,18 @@ class Transport:
                 msg_id=msg.msg_id, oneway=oneway,
             )
             self.tracer.count(f"rpc.bytes:{kind}", nbytes, host=src.host)
-        self.world.kernel.call_at(deliver_at, self._deliver, msg, reply_future)
+        # Chaos runs *after* the FIFO floor: faulted deliveries shift
+        # individually, which is exactly how reordering becomes possible
+        # on an otherwise in-order connection.
+        deliveries = [deliver_at]
+        if self.chaos is not None:
+            deliveries = self.chaos.filter(msg, "request", deliver_at)
+            if not deliveries:
+                self.stats.dropped_requests += 1
+                self._trace_drop(msg, "request", "chaos")
+                return
+        for at in deliveries:
+            self.world.kernel.call_at(at, self._deliver, msg, reply_future)
 
     # -- receive path ------------------------------------------------------------
 
@@ -318,6 +457,24 @@ class Transport:
     def _execute(
         self, endpoint: Endpoint, msg: Message, reply_future: Future | None
     ) -> None:
+        dedup = endpoint.dedup
+        slot = None
+        if msg.token is not None and dedup is not None:
+            is_new, slot = dedup.claim(msg.token)
+            if not is_new:
+                # Duplicate of a tokened call: at-most-once execution.
+                # Wait for the original's outcome (it may still be
+                # running) and replay the reply instead of re-executing.
+                if self.tracer.enabled:
+                    self.tracer.count("rpc.dedup.hits", host=msg.dst.host)
+                result = slot.future.result()
+                if self.copy_semantics:
+                    # A fresh copy per reply, so one caller mutating the
+                    # value cannot pollute the cached outcome.
+                    result = self._roundtrip_result(result, msg.dst)
+                if reply_future is not None:
+                    self._send_reply(msg, result, reply_future)
+                return
         exec_start = self.world.now()
         exec_span = None
         if self.tracer.enabled:
@@ -340,10 +497,23 @@ class Transport:
             # the reply span itself) is still caused by this handler.
             self.tracer.end_span(exec_span, ts=self.world.now(),
                                  restore=False, error=failed)
-        if reply_future is None:
+        if reply_future is None and slot is None:
             return
         if self.copy_semantics:
             result = self._roundtrip_result(result, msg.dst)
+        if slot is not None:
+            # Cache the outcome (success *or* error) before the reply
+            # leg, which can still fail: a retry after an
+            # executed-but-lost-reply must replay, not re-execute.
+            dedup.complete(msg.token, result)
+        if reply_future is None:
+            return
+        self._send_reply(msg, result, reply_future)
+
+    def _send_reply(
+        self, msg: Message, result: Any, reply_future: Future
+    ) -> None:
+        """Charge and schedule the reply leg for an executed request."""
         reply_kind = msg.kind + ":reply"
         nbytes = sizeof(result)
         self.stats.messages += 1
@@ -384,9 +554,18 @@ class Transport:
                 f"rpc.latency:{msg.kind}", deliver_at - msg.sent_at,
                 host=msg.src.host,
             )
-        self.world.kernel.call_at(
-            deliver_at, self._complete, reply_future, result
-        )
+        deliveries = [deliver_at]
+        if self.chaos is not None:
+            deliveries = self.chaos.filter(msg, "reply", deliver_at)
+            if not deliveries:
+                self.stats.dropped_replies += 1
+                self._trace_drop(msg, "reply", "chaos")
+                return
+        for at in deliveries:
+            # Duplicate replies are harmless: _complete is idempotent.
+            self.world.kernel.call_at(
+                at, self._complete, reply_future, result
+            )
 
     def _roundtrip_result(self, result: Any, where: Addr) -> Any:
         """Pickle round-trip a reply — including :class:`RemoteError`

@@ -1,0 +1,50 @@
+"""Seeded unbounded retry reachable from a handler (symlint fixture).
+
+The handler itself looks innocent — the constant-true retry loop sits
+one call away, in a helper that swallows ``ConnectionError`` and tries
+again with no attempt or deadline bound.  If the peer stays down, the
+request process spins (and sleeps) forever.  ``BoundedSyncer`` is the
+clean twin: the same retry shape bounded by an attempt count, which
+must produce no finding.
+"""
+
+SYNC = "sync"
+
+
+class Syncer:
+    def __init__(self, endpoint, peer, kernel):
+        self.peer = peer
+        self.kernel = kernel
+        endpoint.register(SYNC, self._h_sync)
+
+    def _h_sync(self, msg):
+        return self._pull(msg)
+
+    def _pull(self, msg):
+        while True:  # <<UNBOUNDED_RETRY>>
+            try:
+                return self.peer.fetch(msg)
+            except ConnectionError:
+                self.kernel.sleep(0.1)
+
+
+class BoundedSyncer:
+    """Clean twin: bounded attempts, re-raises once they run out."""
+
+    def __init__(self, endpoint, peer, kernel):
+        self.peer = peer
+        self.kernel = kernel
+        endpoint.register(SYNC, self._h_sync)
+
+    def _h_sync(self, msg):
+        return self._pull(msg)
+
+    def _pull(self, msg):
+        last = None
+        for _attempt in range(4):
+            try:
+                return self.peer.fetch(msg)
+            except ConnectionError as exc:
+                last = exc
+                self.kernel.sleep(0.1)
+        raise last

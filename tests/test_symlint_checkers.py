@@ -258,6 +258,32 @@ def test_registry_rule_clean_twins_and_tracer_precedence():
 
 
 # ---------------------------------------------------------------------------
+# retry discipline
+# ---------------------------------------------------------------------------
+
+
+def test_unbounded_retry_in_handler_helper_flagged():
+    report = run("seeded_unbounded_retry.py")
+    findings = by_rule(report, "unbounded-retry")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.severity is Severity.ERROR
+    assert finding.line == marker_line(
+        "seeded_unbounded_retry.py", "UNBOUNDED_RETRY"
+    )
+    assert finding.symbol == "Syncer._pull"
+    # the message names the handler the loop is reachable from
+    assert "Syncer._h_sync" in finding.message
+
+
+def test_bounded_retry_twin_stays_clean():
+    report = run("seeded_unbounded_retry.py")
+    assert {f.symbol for f in by_rule(report, "unbounded-retry")} == {
+        "Syncer._pull"
+    }  # BoundedSyncer._pull (for-range + re-raise) produces nothing
+
+
+# ---------------------------------------------------------------------------
 # whole-directory run: the acceptance-criteria shape
 # ---------------------------------------------------------------------------
 
@@ -289,6 +315,7 @@ EXPECTED_DIR_FINDINGS = {
     ("rpc-under-lock", "seeded_rpc_under_lock.py", "RPC_UNDER_LOCK"),
     ("kernel-block-transitive", "seeded_kernel_block.py",
      "TRANSITIVE_SLEEP"),
+    ("unbounded-retry", "seeded_unbounded_retry.py", "UNBOUNDED_RETRY"),
 }
 
 
@@ -338,5 +365,6 @@ def test_cli_list_rules(capsys):
     for rule in ("unguarded-write", "lock-order-cycle", "unhandled-kind",
                  "dead-kind", "raw-kind-literal", "unserializable-attr",
                  "blocking-sleep-in-handler", "tracer-call-under-lock",
-                 "registry-call-under-lock", "parse-error"):
+                 "registry-call-under-lock", "unbounded-retry",
+                 "parse-error"):
         assert rule in out
